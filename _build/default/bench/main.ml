@@ -1,0 +1,170 @@
+(* Bench harness.
+
+   Two layers:
+
+   1. The REPRODUCTION harness: regenerates every table and figure of the
+      paper at the context given by RS_SCALE / RS_SEED / RS_TAU (default
+      scale 0.15 keeps the whole run to a few minutes; raise it for more
+      faithful counts).  This is the output that should be compared
+      against the paper, shape-wise.
+
+   2. A bechamel microbenchmark per table/figure: the hot kernel that the
+      corresponding reproduction spends its time in (controller steps,
+      stream generation, profiling, distillation, MSSP tasks), so
+      regressions in the machinery that regenerates each artifact are
+      visible as timing changes. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------------------------------------------------------------- *)
+(* Microbenchmark kernels                                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let small_pop =
+  lazy
+    (Rs_behavior.Population.create
+       (Array.init 64 (fun id ->
+            {
+              Rs_behavior.Population.id;
+              behavior = Rs_behavior.Behavior.Stationary (if id mod 4 = 0 then 0.7 else 0.999);
+              weight = 1.0 /. float_of_int (id + 1);
+            })))
+
+let stream_cfg = { Rs_behavior.Stream.seed = 7; instr_per_branch = 6.0; length = 20_000 }
+
+let bench_stream () =
+  let pop = Lazy.force small_pop in
+  let n = ref 0 in
+  Rs_behavior.Stream.iter pop stream_cfg (fun _ -> incr n);
+  !n
+
+let bench_reactive_observe () =
+  (* figure5 / table3 / table4 kernel: one full small engine run *)
+  let pop = Lazy.force small_pop in
+  let r = Rs_sim.Engine.run pop stream_cfg Rs_core.Params.default in
+  r.correct
+
+let bench_profile () =
+  (* figure2 kernel: profile collection with window checkpoints *)
+  let pop = Lazy.force small_pop in
+  let p = Rs_sim.Profile.collect pop stream_cfg in
+  Rs_sim.Profile.total_events p
+
+let bench_pareto () =
+  let pop = Lazy.force small_pop in
+  let p = Rs_sim.Profile.collect pop stream_cfg in
+  Array.length (Rs_sim.Pareto.curve p)
+
+let bench_tracks () =
+  (* figure3 / figure9 kernel *)
+  let pop = Lazy.force small_pop in
+  let t = Rs_sim.Tracks.Intervals.collect pop stream_cfg ~buckets:16 ~min_execs:10 in
+  List.length (Rs_sim.Tracks.Intervals.flippers t ~threshold:0.99)
+
+let bench_eviction_watch () =
+  (* figure6 kernel *)
+  let pop = Lazy.force small_pop in
+  let w = Rs_sim.Eviction_watch.run pop stream_cfg Rs_core.Params.default in
+  w.samples
+
+let region =
+  lazy (Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create 3) ~n_sites:4 ~first_site:0 ())
+
+let bench_distill () =
+  (* figure1 kernel: a full distillation *)
+  let r = Lazy.force region in
+  let a = Rs_distill.Assumptions.branches [ (0, true); (2, false) ] in
+  (Rs_distill.Distill.distill r.func a).distilled_size
+
+let mssp_instance =
+  lazy
+    (Rs_mssp.Workload.instantiate
+       { (Rs_mssp.Workload.find "gzip") with tasks = 5_000 }
+       ~seed:11)
+
+let bench_mssp () =
+  (* figure7 / figure8 / table5 kernel: a short MSSP run *)
+  let inst = Lazy.force mssp_instance in
+  let params = Rs_experiments.Figure7.mssp_params ~monitor:1_000 ~closed:true in
+  let s = Rs_mssp.Machine.run inst ~seed:5 ~params in
+  s.squashes
+
+let bench_workload_build () =
+  (* table1/table2 kernel: building a benchmark population *)
+  let bm = Rs_workload.Benchmark.find "gzip" in
+  let pop, _ = Rs_workload.Benchmark.build bm ~input:Ref ~seed:3 ~scale:0.02 ~tau:10 in
+  Rs_behavior.Population.size pop
+
+let tests =
+  [
+    Test.make ~name:"table1+2/workload-build" (Staged.stage bench_workload_build);
+    Test.make ~name:"figure2/profile-pass" (Staged.stage bench_profile);
+    Test.make ~name:"figure2/pareto-curve" (Staged.stage bench_pareto);
+    Test.make ~name:"figure3+9/bias-tracks" (Staged.stage bench_tracks);
+    Test.make ~name:"figure5+table3+4/reactive-run" (Staged.stage bench_reactive_observe);
+    Test.make ~name:"figure6/eviction-watch" (Staged.stage bench_eviction_watch);
+    Test.make ~name:"figure1/distill" (Staged.stage bench_distill);
+    Test.make ~name:"figure7+8+table5/mssp-run" (Staged.stage bench_mssp);
+    Test.make ~name:"substrate/stream-generation" (Staged.stage bench_stream);
+  ]
+
+let run_microbenchmarks () =
+  print_endline "== microbenchmarks (ns per kernel run; OLS on monotonic clock) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "  %-36s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+(* ---------------------------------------------------------------------- *)
+(* Reproductions                                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let run_reproductions () =
+  let scale =
+    match Sys.getenv_opt "RS_SCALE" with Some s -> float_of_string s | None -> 0.25
+  in
+  let ctx = Rs_experiments.Context.create ~scale () in
+  Printf.printf "== reproductions [%s] ==\n%!" (Rs_experiments.Context.describe ctx);
+  let section name f =
+    Printf.printf "\n-------- %s --------\n%!" name;
+    let t0 = Sys.time () in
+    f ctx;
+    Printf.printf "(%s took %.1fs cpu)\n%!" name (Sys.time () -. t0)
+  in
+  section "table1" Rs_experiments.Table1.print;
+  section "table2" Rs_experiments.Table2.print;
+  section "figure1" Rs_experiments.Figure1.print;
+  section "figure2" Rs_experiments.Figure2.print;
+  section "figure3" Rs_experiments.Figure3.print;
+  section "figure5+table4"
+    (fun ctx ->
+      let f5 = Rs_experiments.Figure5.run ctx in
+      print_string (Rs_experiments.Figure5.render f5);
+      print_string (Rs_experiments.Table4.render (Rs_experiments.Table4.of_figure5 f5)));
+  section "table3" Rs_experiments.Table3.print;
+  section "figure6" Rs_experiments.Figure6.print;
+  section "figure9" Rs_experiments.Figure9.print;
+  section "table5" Rs_experiments.Table5.print;
+  section "figure7" Rs_experiments.Figure7.print;
+  section "figure8" Rs_experiments.Figure8.print;
+  section "correlation (sec 4.3)" Rs_experiments.Correlation.print;
+  section "ablations" Rs_experiments.Ablations.print;
+  section "breakeven (sec 2.1)" Rs_experiments.Breakeven.print;
+  section "extension: value speculation" Rs_experiments.Extension_values.print;
+  section "paper-claim checklist" Rs_experiments.Claims.print
+
+let () =
+  run_reproductions ();
+  print_newline ();
+  run_microbenchmarks ()

@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array List Printf Rs_core Rs_sim Rs_workload Sys Unix

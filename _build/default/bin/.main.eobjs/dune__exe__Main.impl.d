@@ -1,0 +1,1 @@
+bin/main.ml: Arg Cmd Cmdliner List Printf Rs_experiments Term

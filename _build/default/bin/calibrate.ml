@@ -1,0 +1,37 @@
+(* Developer calibration harness: prints per-benchmark reactive-model
+   statistics against the paper's Table 3 targets.  Not part of the public
+   CLI; used to tune the synthetic workloads. *)
+
+let () =
+  let scale = try float_of_string Sys.argv.(1) with _ -> 0.1 in
+  let tau = try int_of_string Sys.argv.(2) with _ -> Rs_workload.Benchmark.default_tau in
+  let which = try Some Sys.argv.(3) with _ -> None in
+  let benchmarks =
+    match which with
+    | Some name -> [ Rs_workload.Benchmark.find name ]
+    | None -> Rs_workload.Benchmark.all
+  in
+  Printf.printf "scale=%.2f\n%!" scale;
+  Printf.printf "%-8s %9s %8s %8s %8s %8s %8s %8s %10s %8s\n" "bench" "events" "touch"
+    "bias" "evict" "tevict" "capped" "%spec" "%misspec" "mdist";
+  List.iter
+    (fun (bm : Rs_workload.Benchmark.t) ->
+      let t0 = Unix.gettimeofday () in
+      let pop, cfg = Rs_workload.Benchmark.build bm ~input:Ref ~seed:42 ~scale ~tau in
+      let params = Rs_core.Params.compress ~factor:tau Rs_core.Params.default in
+      let result = Rs_sim.Engine.run pop cfg params in
+      let row = Rs_sim.Accounting.of_result result in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "%-8s %9d %8d %8d %8d %8d %8d %7.1f%% %9.4f%% %8.0f  (%.1fs, %.1fM ev/s)\n%!"
+        bm.name cfg.length row.touched row.entered_biased row.evicted row.total_evictions
+        row.capped
+        (row.correct_rate *. 100.0)
+        (row.incorrect_rate *. 100.0)
+        row.misspec_distance dt
+        (float_of_int cfg.length /. dt /. 1e6);
+      Printf.printf
+        "  paper:          %8d %8d %8d %8d          %7.1f%%            %8d\n%!"
+        bm.paper.p_touch bm.paper.p_bias bm.paper.p_evict bm.paper.p_total_evicts
+        bm.paper.p_spec_pct bm.paper.p_misspec_dist)
+    benchmarks

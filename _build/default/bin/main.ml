@@ -1,0 +1,93 @@
+(* rspec: reproduce the tables and figures of "Reactive Techniques for
+   Controlling Software Speculation" (CGO 2005). *)
+
+open Cmdliner
+module E = Rs_experiments
+
+let ctx_term =
+  let scale =
+    let doc =
+      "Population scale in (0,1]: shrinks the static branch populations and run lengths \
+       proportionally.  Scaled counts compare to the paper's after dividing by SCALE."
+    in
+    Arg.(value & opt float E.Context.default.scale & info [ "scale" ] ~docv:"SCALE" ~doc)
+  in
+  let seed =
+    let doc = "Root random seed; every experiment is deterministic in it." in
+    Arg.(value & opt int E.Context.default.seed & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let tau =
+    let doc =
+      "Time-compression factor: divides the controller wait period, the optimization \
+       latency and the workloads' slow change periods.  1 = paper-exact time (slow)."
+    in
+    Arg.(value & opt int E.Context.default.tau & info [ "tau" ] ~docv:"TAU" ~doc)
+  in
+  let make scale seed tau = E.Context.create ~seed ~scale ~tau () in
+  Term.(const make $ scale $ seed $ tau)
+
+let with_header name f ctx =
+  Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx);
+  f ctx;
+  print_newline ()
+
+let experiments : (string * string * (E.Context.t -> unit)) list =
+  [
+    ("figure1", "Code approximation example (before/after distillation)", E.Figure1.print);
+    ("figure2", "Correct/incorrect speculation trade-off", E.Figure2.print);
+    ("figure3", "Branches with initially invariant behaviour", E.Figure3.print);
+    ("figure5", "Reactive model vs self-training, with sensitivity variants", E.Figure5.print);
+    ("figure6", "Post-eviction misprediction distribution", E.Figure6.print);
+    ("figure7", "MSSP: closed- vs open-loop control", E.Figure7.print);
+    ("figure8", "MSSP: optimization latency sensitivity", E.Figure8.print);
+    ("figure9", "Correlated behaviour changes (vortex)", E.Figure9.print);
+    ("table1", "Profile vs evaluation inputs", E.Table1.print);
+    ("table2", "Model parameters", E.Table2.print);
+    ("table3", "Model transition data", E.Table3.print);
+    ("table4", "Model sensitivity", E.Table4.print);
+    ("table5", "MSSP machine parameters", E.Table5.print);
+    ("ablations", "Design-choice ablation sweeps (hysteresis, periods, cap)", E.Ablations.print);
+    ("correlation", "Section 4.3: branch violations per task squash", E.Correlation.print);
+    ("values", "Extension: load-value speculation under the same controller",
+      E.Extension_values.print);
+    ("breakeven", "Section 2.1: break-even penalty/benefit ratios", E.Breakeven.print);
+    ("claims", "Verdict every headline claim of the paper against this run", E.Claims.print);
+  ]
+
+let cmd_of (cmd_name, doc, print) =
+  let action = with_header cmd_name print in
+  Cmd.v (Cmd.info cmd_name ~doc) Term.(const action $ ctx_term)
+
+let all_cmd =
+  let run ctx = List.iter (fun (name, _, print) -> with_header name print ctx) experiments in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every table and figure reproduction in paper order")
+    Term.(const run $ ctx_term)
+
+let export_cmd =
+  let dir =
+    Arg.(
+      value
+      & opt string "figures"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Directory to write the CSV series into.")
+  in
+  let run ctx dir =
+    let written = E.Export.run ctx ~dir in
+    List.iter (Printf.printf "wrote %s\n") written
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write the raw series behind the figures as CSV files")
+    Term.(const run $ ctx_term $ dir)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (name, doc, _) -> Printf.printf "%-9s %s\n" name doc) experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available reproductions") Term.(const run $ const ())
+
+let main =
+  let doc = "reproduce 'Reactive Techniques for Controlling Software Speculation' (CGO 2005)" in
+  let info = Cmd.info "rspec" ~version:"1.0.0" ~doc in
+  Cmd.group info (list_cmd :: all_cmd :: export_cmd :: List.map cmd_of experiments)
+
+let () = exit (Cmd.eval main)

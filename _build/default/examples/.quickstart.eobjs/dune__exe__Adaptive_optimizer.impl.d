@@ -1,0 +1,1 @@
+examples/adaptive_optimizer.ml: Array Format List Printf Rs_behavior Rs_core Rs_distill Rs_ir Rs_util

@@ -1,0 +1,1 @@
+examples/mssp_demo.ml: Printf Rs_experiments Rs_mssp Rs_util

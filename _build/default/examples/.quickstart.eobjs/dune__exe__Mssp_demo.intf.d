@@ -1,0 +1,1 @@
+examples/mssp_demo.mli:

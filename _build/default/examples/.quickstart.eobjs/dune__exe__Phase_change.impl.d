@@ -1,0 +1,1 @@
+examples/phase_change.ml: Array List Printf Rs_behavior Rs_core Rs_experiments Rs_sim Rs_util Rs_workload

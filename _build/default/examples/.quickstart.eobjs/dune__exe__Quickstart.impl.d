@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Rs_behavior Rs_core Rs_sim

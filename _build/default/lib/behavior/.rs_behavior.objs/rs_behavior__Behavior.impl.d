@@ -1,0 +1,1 @@
+lib/behavior/behavior.ml: Array Float Format Rs_util

@@ -1,0 +1,1 @@
+lib/behavior/behavior.mli: Format Rs_util

@@ -1,0 +1,1 @@
+lib/behavior/population.ml: Array Behavior Float Queue Rs_util

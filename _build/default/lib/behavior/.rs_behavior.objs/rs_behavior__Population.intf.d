@@ -1,0 +1,1 @@
+lib/behavior/population.mli: Behavior Rs_util

@@ -1,0 +1,1 @@
+lib/behavior/stream.ml: Array Behavior Population Rs_util

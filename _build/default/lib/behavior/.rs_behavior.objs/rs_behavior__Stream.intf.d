@@ -1,0 +1,1 @@
+lib/behavior/stream.mli: Population

@@ -1,0 +1,1 @@
+lib/behavior/value_model.ml: Array Float Format Rs_util

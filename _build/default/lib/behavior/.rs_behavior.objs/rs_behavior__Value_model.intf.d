@@ -1,0 +1,1 @@
+lib/behavior/value_model.mli: Format Rs_util

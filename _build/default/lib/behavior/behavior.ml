@@ -1,0 +1,91 @@
+type t =
+  | Stationary of float
+  | Flip_at of { threshold : int; first : bool }
+  | Phases of phase array
+  | Softening of { start : float; finish : float; over : int }
+  | Periodic of { region : int; p_first : float; p_second : float }
+  | Global_phases of global_phase array
+
+and phase = { length : int; p_taken : float }
+and global_phase = { until_instr : int; gp_taken : float }
+
+let p_taken t ~exec_index ~instr =
+  match t with
+  | Stationary p -> p
+  | Flip_at { threshold; first } ->
+    if exec_index < threshold then (if first then 1.0 else 0.0)
+    else if first then 0.0
+    else 1.0
+  | Phases phases ->
+    let n = Array.length phases in
+    let rec find i offset =
+      if i >= n - 1 then phases.(n - 1).p_taken
+      else if exec_index < offset + phases.(i).length then phases.(i).p_taken
+      else find (i + 1) (offset + phases.(i).length)
+    in
+    if n = 0 then 0.5 else find 0 0
+  | Softening { start; finish; over } ->
+    if exec_index >= over || over <= 0 then finish
+    else start +. ((finish -. start) *. float_of_int exec_index /. float_of_int over)
+  | Periodic { region; p_first; p_second } ->
+    if region <= 0 then p_first
+    else if exec_index / region mod 2 = 0 then p_first
+    else p_second
+  | Global_phases phases ->
+    let n = Array.length phases in
+    let rec find i =
+      if i >= n - 1 then phases.(n - 1).gp_taken
+      else if instr < phases.(i).until_instr then phases.(i).gp_taken
+      else find (i + 1)
+    in
+    if n = 0 then 0.5 else find 0
+
+let sample t ~rng ~exec_index ~instr =
+  Rs_util.Prng.bernoulli rng (p_taken t ~exec_index ~instr)
+
+let mean_bias t ~horizon =
+  if horizon <= 0 then 0.5
+  else begin
+    (* Average the per-execution taken-probability, then fold into a bias
+       (majority-direction fraction).  For time-varying models this is the
+       whole-run average bias a static profiler would measure. *)
+    let steps = min horizon 4096 in
+    let stride = max 1 (horizon / steps) in
+    let acc = ref 0.0 in
+    let n = ref 0 in
+    let i = ref 0 in
+    while !i < horizon do
+      acc := !acc +. p_taken t ~exec_index:!i ~instr:!i;
+      incr n;
+      i := !i + stride
+    done;
+    let p = !acc /. float_of_int !n in
+    Float.max p (1.0 -. p)
+  end
+
+let is_time_varying = function
+  | Stationary _ -> false
+  | Flip_at _ | Phases _ | Softening _ | Periodic _ | Global_phases _ -> true
+
+let pp ppf t =
+  match t with
+  | Stationary p -> Format.fprintf ppf "stationary(p=%.4f)" p
+  | Flip_at { threshold; first } ->
+    Format.fprintf ppf "flip_at(%d, first=%b)" threshold first
+  | Phases phases ->
+    Format.fprintf ppf "phases[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf { length; p_taken } -> Format.fprintf ppf "%dx%.3f" length p_taken))
+      (Array.to_list phases)
+  | Softening { start; finish; over } ->
+    Format.fprintf ppf "softening(%.3f->%.3f over %d)" start finish over
+  | Periodic { region; p_first; p_second } ->
+    Format.fprintf ppf "periodic(region=%d, %.3f/%.3f)" region p_first p_second
+  | Global_phases phases ->
+    Format.fprintf ppf "global_phases[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf { until_instr; gp_taken } ->
+           Format.fprintf ppf "<%d:%.3f" until_instr gp_taken))
+      (Array.to_list phases)

@@ -1,0 +1,48 @@
+type event = { branch : int; taken : bool; exec_index : int; instr : int }
+
+type config = { seed : int; instr_per_branch : float; length : int }
+
+let total_instructions config =
+  int_of_float (float_of_int config.length *. config.instr_per_branch)
+
+let iter pop config f =
+  if config.length <= 0 then invalid_arg "Stream.iter: length must be positive";
+  if config.instr_per_branch < 1.0 then
+    invalid_arg "Stream.iter: instr_per_branch must be >= 1";
+  let root = Rs_util.Prng.create config.seed in
+  let pick_rng = Rs_util.Prng.split root in
+  (* Each branch owns a private outcome stream so that its sampled
+     behaviour does not depend on how other branches interleave. *)
+  let branch_rngs = Array.init (Population.size pop) (fun _ -> Rs_util.Prng.split root) in
+  let sampler = Population.Alias.prepare pop in
+  let exec = Array.make (Population.size pop) 0 in
+  (* Deterministic fractional instruction advance: base + carry keeps the
+     long-run rate exactly [instr_per_branch] without an extra RNG draw. *)
+  let base = int_of_float config.instr_per_branch in
+  let frac = config.instr_per_branch -. float_of_int base in
+  let carry = ref 0.0 in
+  let instr = ref 0 in
+  for _ = 1 to config.length do
+    let b = Population.Alias.draw sampler pick_rng in
+    let step =
+      carry := !carry +. frac;
+      if !carry >= 1.0 then begin
+        carry := !carry -. 1.0;
+        base + 1
+      end
+      else base
+    in
+    instr := !instr + step;
+    let exec_index = exec.(b) in
+    exec.(b) <- exec_index + 1;
+    let spec = Population.spec pop b in
+    let taken =
+      Behavior.sample spec.behavior ~rng:branch_rngs.(b) ~exec_index ~instr:!instr
+    in
+    f { branch = b; taken; exec_index; instr = !instr }
+  done
+
+let exec_counts pop config =
+  let counts = Array.make (Population.size pop) 0 in
+  iter pop config (fun ev -> counts.(ev.branch) <- counts.(ev.branch) + 1);
+  counts

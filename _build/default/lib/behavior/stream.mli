@@ -1,0 +1,39 @@
+(** Dynamic branch-event streams.
+
+    A stream interleaves executions of the branches in a population
+    (weighted sampling), samples each outcome from the branch's behaviour
+    model, and maintains a global instruction counter (branches are one
+    out of every [instr_per_branch] instructions, matching the paper's
+    SPECint rates of roughly one conditional branch per 5-8
+    instructions).
+
+    Streams are fully deterministic in the seed: the same
+    [(population, seed, instr_per_branch)] triple always produces the same
+    event sequence.  Every consumer in the library (functional simulator,
+    profilers, the MSSP driver) replays streams through {!iter}. *)
+
+type event = {
+  branch : int;  (** Static branch id. *)
+  taken : bool;  (** Outcome of this execution. *)
+  exec_index : int;  (** 0-based per-branch execution count. *)
+  instr : int;  (** Global instruction count at this branch. *)
+}
+
+type config = {
+  seed : int;
+  instr_per_branch : float;  (** Mean instructions per branch event; >= 1. *)
+  length : int;  (** Number of branch events to generate. *)
+}
+
+val iter : Population.t -> config -> (event -> unit) -> unit
+(** Generate [config.length] events in order, calling the consumer on
+    each.  @raise Invalid_argument on a non-positive length or an
+    [instr_per_branch < 1]. *)
+
+val exec_counts : Population.t -> config -> int array
+(** Per-branch execution totals of the stream (a cheap replay used by
+    tests and calibration). *)
+
+val total_instructions : config -> int
+(** Instruction count the stream reaches, [length * instr_per_branch]
+    rounded. *)

@@ -1,0 +1,1 @@
+lib/core/reactive.ml: Array List Params Types

@@ -1,0 +1,1 @@
+lib/core/reactive.mli: Params Types

@@ -1,0 +1,1 @@
+lib/core/static.ml: Array Types

@@ -1,0 +1,78 @@
+type eviction_mode = Continuous | Sampled of { window : int; samples : int }
+
+type t = {
+  monitor_period : int;
+  selection_threshold : float;
+  evict_threshold : int;
+  misspec_step : int;
+  correct_step : int;
+  evict_bias : float;
+  wait_period : int;
+  oscillation_limit : int;
+  optimization_latency : int;
+  eviction_mode : eviction_mode;
+  monitor_stride : int;
+  enable_eviction : bool;
+  enable_revisit : bool;
+}
+
+let default =
+  {
+    monitor_period = 10_000;
+    selection_threshold = 0.995;
+    evict_threshold = 10_000;
+    misspec_step = 50;
+    correct_step = 1;
+    evict_bias = 0.98;
+    wait_period = 1_000_000;
+    oscillation_limit = 5;
+    optimization_latency = 1_000_000;
+    eviction_mode = Continuous;
+    monitor_stride = 1;
+    enable_eviction = true;
+    enable_revisit = true;
+  }
+
+let compress ~factor t =
+  if factor <= 0 then invalid_arg "Params.compress: factor must be positive";
+  {
+    t with
+    wait_period = max 1 (t.wait_period / factor);
+    optimization_latency = t.optimization_latency / factor;
+  }
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if t.monitor_period <= 0 then err "monitor_period must be positive"
+  else if t.selection_threshold <= 0.5 || t.selection_threshold > 1.0 then
+    err "selection_threshold must be in (0.5, 1]"
+  else if t.evict_threshold <= 0 then err "evict_threshold must be positive"
+  else if t.misspec_step <= 0 || t.correct_step <= 0 then err "counter steps must be positive"
+  else if t.evict_bias <= 0.5 || t.evict_bias > 1.0 then err "evict_bias must be in (0.5, 1]"
+  else if t.wait_period <= 0 then err "wait_period must be positive"
+  else if t.oscillation_limit <= 0 then err "oscillation_limit must be positive"
+  else if t.optimization_latency < 0 then err "optimization_latency must be non-negative"
+  else if t.monitor_stride <= 0 then err "monitor_stride must be positive"
+  else
+    match t.eviction_mode with
+    | Continuous -> Ok ()
+    | Sampled { window; samples } ->
+      if window <= 0 || samples <= 0 || samples > window then
+        err "sampled eviction needs 0 < samples <= window"
+      else Ok ()
+
+let monitor_samples t = max 1 (t.monitor_period / t.monitor_stride)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>monitor period: %d executions@ selection threshold: %.2f%%@ eviction: %s@ counter: +%d \
+     on misspeculation, -%d otherwise, threshold %d@ wait period: %d executions@ oscillation \
+     limit: %d selections@ optimization latency: %d instructions@ monitor stride: 1-in-%d@ arcs: \
+     eviction=%b revisit=%b@]"
+    t.monitor_period
+    (t.selection_threshold *. 100.0)
+    (match t.eviction_mode with
+    | Continuous -> "continuous"
+    | Sampled { window; samples } -> Printf.sprintf "sampled (%d of every %d)" samples window)
+    t.misspec_step t.correct_step t.evict_threshold t.wait_period t.oscillation_limit
+    t.optimization_latency t.monitor_stride t.enable_eviction t.enable_revisit

@@ -1,0 +1,65 @@
+(** Reactive-model parameters (Table 2 of the paper). *)
+
+(** How the eviction decision is made while a branch is in the biased
+    state. *)
+type eviction_mode =
+  | Continuous
+      (** Track every execution with the hysteresis saturating counter
+          (+[misspec_step] on a misspeculation, -[correct_step]
+          otherwise); evict at [evict_threshold]. *)
+  | Sampled of { window : int; samples : int }
+      (** Re-sample the branch's bias periodically: observe the first
+          [samples] executions of every [window]-execution period and
+          evict when the sampled bias falls below [evict_bias].  The
+          paper's configuration is 1,000 samples every 10,000 executions
+          (a 10 % duty cycle). *)
+
+type t = {
+  monitor_period : int;  (** Executions observed in the monitor state. *)
+  selection_threshold : float;  (** Bias required to enter biased state. *)
+  evict_threshold : int;  (** Saturating-counter eviction trigger. *)
+  misspec_step : int;  (** Counter increment on a misspeculation. *)
+  correct_step : int;  (** Counter decrement on a correct speculation. *)
+  evict_bias : float;  (** Bias below which [Sampled] eviction fires. *)
+  wait_period : int;  (** Executions spent in the unbiased state. *)
+  oscillation_limit : int;
+      (** Maximum number of times a branch may be selected; the paper
+          "will not optimize a sixth time", i.e. a limit of 5. *)
+  optimization_latency : int;
+      (** Instructions between a re-optimization request and the new code
+          being deployed. *)
+  eviction_mode : eviction_mode;
+  monitor_stride : int;
+      (** Sample 1-in-[monitor_stride] executions in the monitor state;
+          the number of samples needed shrinks accordingly so the
+          monitoring interval stays [monitor_period] executions. *)
+  enable_eviction : bool;  (** The biased -> monitor arc. *)
+  enable_revisit : bool;  (** The unbiased -> monitor arc. *)
+}
+
+val default : t
+(** Table 2: monitor 10,000 executions; selection threshold 99.5 %;
+    eviction counter threshold 10,000 with +50/-1 steps; wait period
+    1,000,000 executions; at most 5 selections; optimization latency
+    1,000,000 instructions; continuous eviction; no monitor sampling. *)
+
+val compress : factor:int -> t -> t
+(** [compress ~factor t] divides the two long time constants — the wait
+    period and the optimization latency — by [factor], leaving everything
+    else untouched.
+
+    Paper-exact runs need billions of branch events per benchmark; a
+    compressed time axis keeps every ratio of Table 2 intact (wait period
+    to optimization latency, both to workload change periods) while
+    shrinking runs proportionally.  The synthetic workloads accept the
+    same factor so workload and controller stay on one clock.
+    @raise Invalid_argument if [factor <= 0]. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency (positive periods, thresholds in range). *)
+
+val monitor_samples : t -> int
+(** Number of sampled executions that close a monitoring interval,
+    [max 1 (monitor_period / monitor_stride)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,211 @@
+type phase = Monitoring | Biased | Unbiased | Disabled
+
+type bstate = {
+  mutable phase : phase;
+  mutable execs : int;
+  (* monitor state *)
+  mutable mon_seen : int;
+  mutable mon_taken : int;
+  mutable stride_pos : int;
+  (* biased state *)
+  mutable direction : bool;
+  mutable counter : int;
+  mutable smp_pos : int;
+  mutable smp_misses : int;
+  (* unbiased state *)
+  mutable wait_left : int;
+  (* deployment: what the running code does, plus one pending request *)
+  mutable dep_spec : bool;
+  mutable dep_dir : bool;
+  mutable pend_at : int; (* instruction count of activation; -1 = none *)
+  mutable pend_spec : bool;
+  mutable pend_dir : bool;
+  (* lifetime counters *)
+  mutable selections : int;
+  mutable evictions : int;
+}
+
+type t = {
+  params : Params.t;
+  monitor_samples : int;
+  states : bstate array;
+  mutable transitions_rev : Types.transition list;
+  on_transition : Types.transition -> unit;
+}
+
+let fresh_state () =
+  {
+    phase = Monitoring;
+    execs = 0;
+    mon_seen = 0;
+    mon_taken = 0;
+    stride_pos = 0;
+    direction = false;
+    counter = 0;
+    smp_pos = 0;
+    smp_misses = 0;
+    wait_left = 0;
+    dep_spec = false;
+    dep_dir = false;
+    pend_at = -1;
+    pend_spec = false;
+    pend_dir = false;
+    selections = 0;
+    evictions = 0;
+  }
+
+let create ?(on_transition = fun _ -> ()) ~n_branches params =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Reactive.create: " ^ msg));
+  if n_branches <= 0 then invalid_arg "Reactive.create: n_branches must be positive";
+  {
+    params;
+    monitor_samples = Params.monitor_samples params;
+    states = Array.init n_branches (fun _ -> fresh_state ());
+    transitions_rev = [];
+    on_transition;
+  }
+
+let params t = t.params
+let n_branches t = Array.length t.states
+
+let deployed t b =
+  let st = t.states.(b) in
+  { Types.speculate = st.dep_spec; direction = st.dep_dir }
+
+let transitions t = List.rev t.transitions_rev
+let selections t b = t.states.(b).selections
+let evictions t b = t.states.(b).evictions
+let touched t b = t.states.(b).execs > 0
+
+let record t branch st instr kind =
+  let tr = { Types.branch; instr; exec_index = st.execs; kind } in
+  t.transitions_rev <- tr :: t.transitions_rev;
+  t.on_transition tr
+
+(* Request a code change: it becomes the deployed behaviour
+   [optimization_latency] instructions from now.  A newer request
+   supersedes an in-flight one (the re-optimizer works on the most recent
+   characterization). *)
+let request t st ~instr ~speculate ~direction =
+  if t.params.optimization_latency = 0 then begin
+    st.dep_spec <- speculate;
+    st.dep_dir <- direction;
+    st.pend_at <- -1
+  end
+  else begin
+    st.pend_at <- instr + t.params.optimization_latency;
+    st.pend_spec <- speculate;
+    st.pend_dir <- direction
+  end
+
+let enter_monitor st =
+  st.phase <- Monitoring;
+  st.mon_seen <- 0;
+  st.mon_taken <- 0;
+  st.stride_pos <- 0
+
+let enter_unbiased t st =
+  st.phase <- Unbiased;
+  st.wait_left <- t.params.wait_period
+
+let enter_biased t st ~direction ~instr =
+  st.phase <- Biased;
+  st.direction <- direction;
+  st.counter <- 0;
+  st.smp_pos <- 0;
+  st.smp_misses <- 0;
+  st.selections <- st.selections + 1;
+  request t st ~instr ~speculate:true ~direction
+
+let evict t branch st ~instr =
+  st.evictions <- st.evictions + 1;
+  record t branch st instr Types.Evicted;
+  enter_monitor st;
+  request t st ~instr ~speculate:false ~direction:false
+
+(* Close a monitoring interval and classify the branch. *)
+let classify t branch st ~instr =
+  let taken = st.mon_taken and seen = st.mon_seen in
+  let majority = max taken (seen - taken) in
+  let bias = float_of_int majority /. float_of_int seen in
+  if bias >= t.params.selection_threshold then begin
+    if st.selections >= t.params.oscillation_limit then begin
+      st.phase <- Disabled;
+      record t branch st instr Types.Capped;
+      if st.dep_spec || st.pend_at >= 0 then
+        request t st ~instr ~speculate:false ~direction:false
+    end
+    else begin
+      let direction = taken * 2 >= seen in
+      enter_biased t st ~direction ~instr;
+      record t branch st instr Types.Selected
+    end
+  end
+  else begin
+    enter_unbiased t st;
+    record t branch st instr Types.Declared_unbiased
+  end
+
+let observe_biased t branch st ~taken ~instr =
+  if not st.dep_spec then ()
+    (* The new code is not deployed yet; the paper does not count correct
+       or incorrect speculations during the optimization latency. *)
+  else begin
+    match t.params.eviction_mode with
+    | Params.Continuous ->
+      if t.params.enable_eviction then begin
+        let c =
+          if taken <> st.direction then st.counter + t.params.misspec_step
+          else st.counter - t.params.correct_step
+        in
+        st.counter <- (if c < 0 then 0 else c);
+        if st.counter >= t.params.evict_threshold then evict t branch st ~instr
+      end
+    | Params.Sampled { window; samples } ->
+      if t.params.enable_eviction then begin
+        if st.smp_pos < samples && taken <> st.direction then
+          st.smp_misses <- st.smp_misses + 1;
+        st.smp_pos <- st.smp_pos + 1;
+        if st.smp_pos = samples then begin
+          let bias =
+            float_of_int (samples - st.smp_misses) /. float_of_int samples
+          in
+          if bias < t.params.evict_bias then evict t branch st ~instr
+          else st.smp_misses <- 0
+        end
+        else if st.smp_pos >= window then begin
+          st.smp_pos <- 0;
+          st.smp_misses <- 0
+        end
+      end
+  end
+
+let observe t ~branch ~taken ~instr =
+  let st = t.states.(branch) in
+  if st.pend_at >= 0 && instr >= st.pend_at then begin
+    st.dep_spec <- st.pend_spec;
+    st.dep_dir <- st.pend_dir;
+    st.pend_at <- -1
+  end;
+  (match st.phase with
+  | Monitoring ->
+    st.stride_pos <- st.stride_pos + 1;
+    if st.stride_pos >= t.params.monitor_stride then begin
+      st.stride_pos <- 0;
+      st.mon_seen <- st.mon_seen + 1;
+      if taken then st.mon_taken <- st.mon_taken + 1;
+      if st.mon_seen >= t.monitor_samples then classify t branch st ~instr
+    end
+  | Biased -> observe_biased t branch st ~taken ~instr
+  | Unbiased ->
+    if t.params.enable_revisit then begin
+      st.wait_left <- st.wait_left - 1;
+      if st.wait_left <= 0 then begin
+        enter_monitor st;
+        record t branch st instr Types.Revisited
+      end
+    end
+  | Disabled -> ());
+  st.execs <- st.execs + 1

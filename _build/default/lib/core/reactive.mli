@@ -1,0 +1,62 @@
+(** The reactive speculation controller (Section 3 of the paper).
+
+    Each static branch is tracked by the finite-state machine of
+    Figure 4(b):
+
+    {v
+              +-----------+   bias >= threshold    +--------+
+         ---> | monitor   | ----------------------> | biased |
+              +-----------+                          +--------+
+                 ^    ^  \                              |
+        revisit  |    |   \ bias < threshold            | eviction counter
+        (wait    |    |    v                            | saturates
+        period)  |  +----------+                        |
+                 +--| unbiased |    <-------------------+
+                    +----------+     (back to monitor)
+    v}
+
+    plus an oscillation limit (a branch that keeps moving in and out of
+    the biased state is permanently retired from speculation) and a model
+    of (re-)optimization latency: a decision only changes the {e deployed}
+    code [optimization_latency] instructions after it is made, and the old
+    code keeps executing — and keeps being scored — until then.
+
+    The controller is purely observational: the driver scores each event
+    against {!deployed} and then calls {!observe}. *)
+
+type t
+
+val create : ?on_transition:(Types.transition -> unit) -> n_branches:int -> Params.t -> t
+(** [create ~n_branches params] tracks branches with dense ids
+    [0 .. n_branches - 1].  [on_transition] is invoked synchronously at
+    every state transition (used by the Figure 6 eviction watcher).
+    @raise Invalid_argument if [params] fails {!Params.validate} or
+    [n_branches <= 0]. *)
+
+val params : t -> Params.t
+
+val deployed : t -> int -> Types.decision
+(** What the currently deployed code does at this branch site.  This is
+    what the execution must be scored against: it lags controller
+    decisions by the optimization latency. *)
+
+val observe : t -> branch:int -> taken:bool -> instr:int -> unit
+(** Feed one execution of [branch] with outcome [taken] at global
+    instruction count [instr].  Instruction counts must be
+    non-decreasing across calls. *)
+
+val transitions : t -> Types.transition list
+(** All transitions so far, oldest first. *)
+
+(** Per-branch summary counters, for Table 3. *)
+
+val selections : t -> int -> int
+(** Times the branch entered the biased state. *)
+
+val evictions : t -> int -> int
+(** Times the branch was evicted from the biased state. *)
+
+val touched : t -> int -> bool
+(** Whether the branch executed at least once. *)
+
+val n_branches : t -> int

@@ -1,0 +1,32 @@
+(** Shared controller types. *)
+
+(** What the currently deployed code does at a branch site.  [speculate]
+    means the branch has been removed from the speculative code assuming
+    it goes in [direction] ([true] = taken). *)
+type decision = { speculate : bool; direction : bool }
+
+let no_speculation = { speculate = false; direction = false }
+
+(** State-machine transitions of the reactive model (Figure 4b).  Every
+    transition into or out of the biased state corresponds to a
+    re-optimization request in a real system. *)
+type transition_kind =
+  | Selected  (** monitor -> biased: the branch is chosen for speculation. *)
+  | Declared_unbiased  (** monitor -> unbiased. *)
+  | Evicted  (** biased -> monitor: the eviction arc (closed loop). *)
+  | Revisited  (** unbiased -> monitor: the revisit arc. *)
+  | Capped  (** oscillation limit reached: permanently not speculated. *)
+
+type transition = {
+  branch : int;
+  instr : int;  (** Global instruction count at the transition. *)
+  exec_index : int;  (** Executions of this branch so far. *)
+  kind : transition_kind;
+}
+
+let transition_kind_to_string = function
+  | Selected -> "selected"
+  | Declared_unbiased -> "declared-unbiased"
+  | Evicted -> "evicted"
+  | Revisited -> "revisited"
+  | Capped -> "capped"

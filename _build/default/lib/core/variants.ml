@@ -1,0 +1,59 @@
+type t = { key : string; label : string; params : Params.t }
+
+let baseline = { key = "baseline"; label = "baseline"; params = Params.default }
+
+let no_eviction =
+  {
+    key = "no-eviction";
+    label = "no eviction";
+    params = { Params.default with enable_eviction = false };
+  }
+
+let no_revisit =
+  {
+    key = "no-revisit";
+    label = "no revisit";
+    params = { Params.default with enable_revisit = false };
+  }
+
+let lower_eviction_threshold =
+  {
+    key = "low-evict";
+    label = "lower eviction threshold";
+    params = { Params.default with evict_threshold = 1_000 };
+  }
+
+let eviction_by_sampling =
+  {
+    key = "sampled-evict";
+    label = "eviction by sampling";
+    params =
+      { Params.default with eviction_mode = Sampled { window = 10_000; samples = 1_000 } };
+  }
+
+let monitor_sampling =
+  {
+    key = "monitor-sampling";
+    label = "sampling in monitor";
+    params = { Params.default with monitor_stride = 8 };
+  }
+
+let frequent_revisit =
+  {
+    key = "fast-revisit";
+    label = "more frequent revisit (100k)";
+    params = { Params.default with wait_period = 100_000 };
+  }
+
+let all =
+  [
+    no_revisit;
+    lower_eviction_threshold;
+    eviction_by_sampling;
+    baseline;
+    monitor_sampling;
+    frequent_revisit;
+    no_eviction;
+  ]
+
+let find key = List.find (fun v -> v.key = key) all

@@ -1,0 +1,40 @@
+(** The sensitivity configurations of Figure 5 / Table 4.
+
+    Each variant perturbs exactly one aspect of the baseline (Table 2)
+    reactive model; the paper's finding is that only removing one of the
+    two reactive arcs ([no_revisit], [no_eviction]) materially changes the
+    result. *)
+
+type t = {
+  key : string;  (** Short stable identifier (used by the CLI). *)
+  label : string;  (** The paper's name for the configuration. *)
+  params : Params.t;
+}
+
+val baseline : t
+val no_eviction : t
+(** Remove the biased -> monitor arc (open loop): misspeculations rise by
+    nearly two orders of magnitude. *)
+
+val no_revisit : t
+(** Remove the unbiased -> monitor arc: loses roughly 20 % of the correct
+    speculations. *)
+
+val lower_eviction_threshold : t
+(** Eviction threshold 1,000 instead of 10,000: more conservative. *)
+
+val eviction_by_sampling : t
+(** Evict from periodic 10 % duty-cycle bias samples instead of the
+    continuous counter. *)
+
+val monitor_sampling : t
+(** Observe 1-in-8 executions in the monitor state. *)
+
+val frequent_revisit : t
+(** Wait period 100,000 executions instead of 1,000,000. *)
+
+val all : t list
+(** In the paper's Table 4 order (most-conservative first). *)
+
+val find : string -> t
+(** Look up by [key].  @raise Not_found for an unknown key. *)

@@ -1,0 +1,1 @@
+lib/distill/assumptions.ml: Format List Printf Rs_ir String

@@ -1,0 +1,1 @@
+lib/distill/assumptions.mli: Format Rs_ir

@@ -1,0 +1,1 @@
+lib/distill/distill.ml: Assumptions Hashtbl Passes Rs_ir

@@ -1,0 +1,1 @@
+lib/distill/distill.mli: Assumptions Rs_ir

@@ -1,0 +1,1 @@
+lib/distill/passes.ml: Array Assumptions Hashtbl List Rs_ir

@@ -1,0 +1,1 @@
+lib/distill/passes.mli: Assumptions Rs_ir

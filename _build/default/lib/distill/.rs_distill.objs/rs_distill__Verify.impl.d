@@ -1,0 +1,1 @@
+lib/distill/verify.ml: Array Assumptions Printf Rs_ir

@@ -1,0 +1,1 @@
+lib/distill/verify.mli: Assumptions Rs_ir

@@ -1,0 +1,30 @@
+type t = {
+  branches : (int * bool) list;
+  loads : (Rs_ir.Func.label * int * int) list;
+}
+
+let empty = { branches = []; loads = [] }
+
+let branches b = { branches = b; loads = [] }
+
+let direction t site = List.assoc_opt site t.branches
+
+let is_empty t = t.branches = [] && t.loads = []
+
+let signature t =
+  let b =
+    List.map (fun (s, d) -> Printf.sprintf "b%d%c" s (if d then 't' else 'n')) t.branches
+  in
+  let l = List.map (fun (bl, i, v) -> Printf.sprintf "l%d.%d=%d" bl i v) t.loads in
+  String.concat ";" (List.sort compare b @ List.sort compare l)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>branches: %a; loads: %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (s, d) -> Format.fprintf ppf "site %d %s" s (if d then "taken" else "not-taken")))
+    t.branches
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (b, i, v) -> Format.fprintf ppf "L%d[%d]=%d" b i v))
+    t.loads

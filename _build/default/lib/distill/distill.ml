@@ -1,0 +1,33 @@
+type result = {
+  distilled : Rs_ir.Func.t;
+  original_size : int;
+  distilled_size : int;
+}
+
+let distill f assumptions =
+  let distilled = Passes.pipeline assumptions f in
+  (match Rs_ir.Func.validate distilled with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Distill produced an invalid function: " ^ e));
+  {
+    distilled;
+    original_size = Rs_ir.Func.static_size f;
+    distilled_size = Rs_ir.Func.static_size distilled;
+  }
+
+module Cache = struct
+  type nonrec t = { func : Rs_ir.Func.t; table : (string, result) Hashtbl.t }
+
+  let create func = { func; table = Hashtbl.create 8 }
+
+  let get t assumptions =
+    let key = Assumptions.signature assumptions in
+    match Hashtbl.find_opt t.table key with
+    | Some r -> r
+    | None ->
+      let r = distill t.func assumptions in
+      Hashtbl.add t.table key r;
+      r
+
+  let entries t = Hashtbl.length t.table
+end

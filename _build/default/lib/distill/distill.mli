@@ -1,0 +1,27 @@
+(** The distiller: produce MSSP-style unchecked speculative code.
+
+    Given a region and a set of assumptions, returns the distilled
+    function together with size accounting.  Results are cached by
+    assumption signature — re-optimization requests from the speculation
+    controller hit the cache when a previously-seen configuration
+    recurs. *)
+
+type result = {
+  distilled : Rs_ir.Func.t;
+  original_size : int;  (** Static instructions before distillation. *)
+  distilled_size : int;
+}
+
+val distill : Rs_ir.Func.t -> Assumptions.t -> result
+
+(** Per-region distillation cache. *)
+module Cache : sig
+  type t
+
+  val create : Rs_ir.Func.t -> t
+  val get : t -> Assumptions.t -> result
+  (** Distill or return the cached result. *)
+
+  val entries : t -> int
+  (** Distinct assumption sets distilled so far. *)
+end

@@ -1,0 +1,36 @@
+(** The distiller's optimization passes.
+
+    Each pass is a [Func.t -> Func.t] transformation.  They compose into
+    {!Distill.distill}; they are exposed individually for tests and for
+    ablation benches. *)
+
+val apply_assumptions : Assumptions.t -> Rs_ir.Func.t -> Rs_ir.Func.t
+(** Branch assumptions turn conditional branches into jumps; load-value
+    assumptions turn loads into immediates.  Purely speculative: the
+    result is only equivalent when the assumptions hold. *)
+
+val constant_fold : Rs_ir.Func.t -> Rs_ir.Func.t
+(** Forward constant propagation over the CFG (meet-over-preds lattice,
+    entry registers unknown).  Folds ALU operations and compares with
+    constant operands into immediates ([Cmp] with one constant operand
+    becomes [Cmpi]); folds conditional branches whose condition is a
+    known constant into jumps. *)
+
+val dead_code_elimination : Rs_ir.Func.t -> Rs_ir.Func.t
+(** Global liveness-based DCE.  Stores, return values and live branch
+    conditions are roots; loads are treated as pure (removable when
+    dead), matching MSSP's unchecked speculative code. *)
+
+val simplify_cfg : Rs_ir.Func.t -> Rs_ir.Func.t
+(** Remove unreachable blocks, thread trivial jump chains, merge a block
+    into its unique jump-predecessor, and renumber labels. *)
+
+val local_cse : Rs_ir.Func.t -> Rs_ir.Func.t
+(** Local common-subexpression elimination: within a block, a pure
+    instruction recomputing an already-available expression becomes a
+    [Mov] from the earlier result.  Loads are available until the next
+    store (no aliasing information, so any store kills all loads). *)
+
+val pipeline : Assumptions.t -> Rs_ir.Func.t -> Rs_ir.Func.t
+(** [apply_assumptions] then CSE / constant folding / DCE / block merging
+    / CFG simplification iterated to a fixpoint (bounded). *)

@@ -1,0 +1,50 @@
+module Interp = Rs_ir.Interp
+
+type report = { trials : int; consistent : int }
+
+let check ~orig ~distilled ~assumptions ~prepare ~trials =
+  let consistent = ref 0 in
+  let failure = ref None in
+  let trial i =
+    let mem_o = prepare i in
+    let mem_d = Array.copy mem_o in
+    (* run the original, recording branch outcomes and assumed-load values *)
+    let violated = ref false in
+    let hook ~site ~taken =
+      match Assumptions.direction assumptions site with
+      | Some d when d <> taken -> violated := true
+      | _ -> ()
+    in
+    let ro = Interp.run ~hook orig ~mem:mem_o in
+    (* load-value assumptions: check the prepared memory provides them by
+       re-reading the assumed cells is not possible in general (addresses
+       are dynamic), so consistency of load assumptions is the caller's
+       responsibility via [prepare]; branch assumptions are checked. *)
+    if not !violated then begin
+      incr consistent;
+      let rd = Interp.run distilled ~mem:mem_d in
+      if ro.return_value <> rd.return_value then
+        failure :=
+          Some
+            (Printf.sprintf "trial %d: return value mismatch (%s vs %s)" i
+               (match ro.return_value with Some v -> string_of_int v | None -> "none")
+               (match rd.return_value with Some v -> string_of_int v | None -> "none"))
+      else begin
+        let diff = ref (-1) in
+        Array.iteri (fun a v -> if !diff < 0 && v <> mem_d.(a) then diff := a) mem_o;
+        if !diff >= 0 then
+          failure :=
+            Some
+              (Printf.sprintf "trial %d: memory differs at %d (%d vs %d)" i !diff
+                 mem_o.(!diff) mem_d.(!diff))
+      end
+    end
+  in
+  let i = ref 0 in
+  while !i < trials && !failure = None do
+    trial !i;
+    incr i
+  done;
+  match !failure with
+  | Some msg -> Error msg
+  | None -> Ok { trials = !i; consistent = !consistent }

@@ -1,0 +1,24 @@
+(** Differential verification of distilled code.
+
+    Distilled code must behave exactly like the original {e whenever the
+    assumptions hold}.  This module checks that by co-executing both
+    versions on caller-prepared memories and comparing all observable
+    state: final memory and the return value.  It also confirms the
+    trials actually satisfied the assumptions (a trial that violates them
+    proves nothing and is reported as such). *)
+
+type report = {
+  trials : int;  (** Trials executed. *)
+  consistent : int;  (** Trials whose execution satisfied the assumptions. *)
+}
+
+val check :
+  orig:Rs_ir.Func.t ->
+  distilled:Rs_ir.Func.t ->
+  assumptions:Assumptions.t ->
+  prepare:(int -> int array) ->
+  trials:int ->
+  (report, string) result
+(** [prepare i] builds the memory image for trial [i]; it is copied for
+    each version.  Returns [Error] describing the first divergence on an
+    assumption-consistent trial. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Context List Printf Rs_core Rs_sim Rs_util Rs_workload String

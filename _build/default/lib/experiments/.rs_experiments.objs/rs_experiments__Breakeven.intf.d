@@ -1,0 +1,1 @@
+lib/experiments/breakeven.mli: Context

@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Buffer Figure2 Figure5 Figure6 Figure7 Figure8 Float List Printf String

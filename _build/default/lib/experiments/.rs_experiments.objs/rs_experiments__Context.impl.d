@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Printf Rs_core Rs_workload Sys

@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Rs_behavior Rs_core Rs_workload

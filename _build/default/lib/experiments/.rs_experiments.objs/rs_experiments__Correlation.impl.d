@@ -1,0 +1,1 @@
+lib/experiments/correlation.ml: Context Figure7 List Rs_mssp Rs_util

@@ -1,0 +1,1 @@
+lib/experiments/correlation.mli: Context

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Figure2 Figure5 Figure6 Figure7 Figure8 Filename List Printf Rs_util Sys

@@ -1,0 +1,1 @@
+lib/experiments/extension_values.ml: Array Context Fun Hashtbl List Option Printf Rs_behavior Rs_core Rs_util

@@ -1,0 +1,1 @@
+lib/experiments/extension_values.mli: Context

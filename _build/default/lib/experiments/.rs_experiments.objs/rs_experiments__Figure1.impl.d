@@ -1,0 +1,1 @@
+lib/experiments/figure1.ml: Array Context Format Printf Rs_distill Rs_ir

@@ -1,0 +1,1 @@
+lib/experiments/figure2.ml: Array Buffer Context Float List Printf Rs_sim Rs_util Rs_workload

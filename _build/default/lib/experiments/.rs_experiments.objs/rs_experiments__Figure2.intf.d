@@ -1,0 +1,1 @@
+lib/experiments/figure2.mli: Context

@@ -1,0 +1,1 @@
+lib/experiments/figure3.ml: Array Buffer Context List Printf Rs_core Rs_sim Rs_workload String

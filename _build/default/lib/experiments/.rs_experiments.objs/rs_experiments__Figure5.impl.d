@@ -1,0 +1,1 @@
+lib/experiments/figure5.ml: Buffer Context Float List Printf Rs_core Rs_sim Rs_util Rs_workload

@@ -1,0 +1,1 @@
+lib/experiments/figure5.mli: Context

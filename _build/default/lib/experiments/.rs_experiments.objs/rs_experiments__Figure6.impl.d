@@ -1,0 +1,1 @@
+lib/experiments/figure6.ml: Buffer Context List Printf Rs_sim Rs_util Rs_workload String

@@ -1,0 +1,1 @@
+lib/experiments/figure7.ml: Context List Printf Rs_core Rs_mssp Rs_util

@@ -1,0 +1,1 @@
+lib/experiments/figure7.mli: Context Rs_core

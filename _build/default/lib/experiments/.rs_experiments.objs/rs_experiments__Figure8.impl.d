@@ -1,0 +1,1 @@
+lib/experiments/figure8.ml: Context Figure7 List Printf Rs_mssp Rs_util

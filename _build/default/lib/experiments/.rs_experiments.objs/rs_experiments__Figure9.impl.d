@@ -1,0 +1,1 @@
+lib/experiments/figure9.ml: Buffer Bytes Context List Printf Rs_sim Rs_workload

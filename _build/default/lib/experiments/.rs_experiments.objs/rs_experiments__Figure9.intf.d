@@ -1,0 +1,1 @@
+lib/experiments/figure9.mli: Context

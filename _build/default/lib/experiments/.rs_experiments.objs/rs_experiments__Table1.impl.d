@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Context List Rs_util Rs_workload

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Context Printf Rs_core Rs_util

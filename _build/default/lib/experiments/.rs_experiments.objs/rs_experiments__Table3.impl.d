@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Context Float List Printf Rs_sim Rs_util Rs_workload

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Figure5 List Printf Rs_core Rs_util

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Context Printf Rs_mssp Rs_util

@@ -1,0 +1,144 @@
+module BM = Rs_workload.Benchmark
+module P = Rs_core.Params
+module Table = Rs_util.Table
+
+type row = {
+  label : string;
+  correct : float;
+  incorrect : float;
+  selections : int;
+  evictions : int;
+  capped : int;
+}
+
+type sweep = { title : string; rows : row list }
+
+type t = { sweeps : sweep list }
+
+let benchmarks = [ "crafty"; "gcc"; "gzip"; "mcf" ]
+
+let evaluate ctx label params =
+  let correct = ref 0.0 and incorrect = ref 0.0 in
+  let selections = ref 0 and evictions = ref 0 and capped = ref 0 in
+  List.iter
+    (fun name ->
+      let bm = BM.find name in
+      let pop, cfg = Context.build ctx bm ~input:Ref in
+      let r = Rs_sim.Engine.run pop cfg (Context.params_of ctx params) in
+      let row = Rs_sim.Accounting.of_result r in
+      correct := !correct +. row.correct_rate;
+      incorrect := !incorrect +. row.incorrect_rate;
+      selections := !selections + row.total_selections;
+      evictions := !evictions + row.total_evictions;
+      capped := !capped + row.capped)
+    benchmarks;
+  let n = float_of_int (List.length benchmarks) in
+  {
+    label;
+    correct = !correct /. n;
+    incorrect = !incorrect /. n;
+    selections = !selections;
+    evictions = !evictions;
+    capped = !capped;
+  }
+
+let hysteresis_shapes =
+  [
+    ("+50/-1, threshold 10,000 (paper)", P.default);
+    (* the same minimum trigger (200 consecutive misspeculations) but no
+       asymmetric tolerance of interleaved correct speculations *)
+    ("+1/-1, threshold 200", { P.default with misspec_step = 1; evict_threshold = 200 });
+    (* faster decay: tolerates much denser misspeculation *)
+    ("+50/-5, threshold 10,000", { P.default with correct_step = 5 });
+    (* hair-trigger: 20 consecutive misspeculations *)
+    ("+50/-1, threshold 1,000", { P.default with evict_threshold = 1_000 });
+  ]
+
+let monitor_periods = [ 1_000; 3_000; 10_000; 30_000; 100_000 ]
+let wait_periods = [ 100_000; 300_000; 1_000_000; 3_000_000 ]
+let oscillation_limits = [ (1, "1"); (5, "5 (paper)"); (max_int / 2, "unbounded") ]
+let selection_thresholds = [ 0.99; 0.995; 0.999 ]
+
+let run ctx =
+  let sweeps =
+    [
+      {
+        title = "eviction hysteresis shape";
+        rows = List.map (fun (l, p) -> evaluate ctx l p) hysteresis_shapes;
+      };
+      {
+        title = "monitor period (executions)";
+        rows =
+          List.map
+            (fun m ->
+              evaluate ctx (Table.fmt_int m) { P.default with monitor_period = m })
+            monitor_periods;
+      };
+      {
+        title = "revisit wait period (executions, paper time)";
+        rows =
+          List.map
+            (fun w -> evaluate ctx (Table.fmt_int w) { P.default with wait_period = w })
+            wait_periods;
+      };
+      {
+        title = "oscillation limit (selections per branch)";
+        rows =
+          List.map
+            (fun (lim, l) -> evaluate ctx l { P.default with oscillation_limit = lim })
+            oscillation_limits;
+      };
+      {
+        title = "selection threshold";
+        rows =
+          List.map
+            (fun th ->
+              evaluate ctx
+                (Table.fmt_pct ~decimals:1 th)
+                { P.default with selection_threshold = th })
+            selection_thresholds;
+      };
+    ]
+  in
+  { sweeps }
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "Ablations over {%s} (averaged rates; summed churn)\n"
+       (String.concat ", " benchmarks));
+  List.iter
+    (fun sweep ->
+      let tbl =
+        Table.create ~title:("  " ^ sweep.title)
+          ~columns:
+            [
+              ("configuration", Table.Left);
+              ("correct", Table.Right);
+              ("incorrect", Table.Right);
+              ("selections", Table.Right);
+              ("evictions", Table.Right);
+              ("capped", Table.Right);
+            ]
+      in
+      List.iter
+        (fun r ->
+          Table.add_row tbl
+            [
+              r.label;
+              Table.fmt_pct ~decimals:1 r.correct;
+              Table.fmt_pct ~decimals:3 r.incorrect;
+              Table.fmt_int r.selections;
+              Table.fmt_int r.evictions;
+              Table.fmt_int r.capped;
+            ])
+        sweep.rows;
+      Buffer.add_string buf (Table.render tbl))
+    t.sweeps;
+  Buffer.add_string buf
+    "  paper touchstones: lowering the eviction threshold is more conservative; longer\n\
+    \  monitor periods trade benefit for fewer false positives; the oscillation cap cuts\n\
+    \  re-optimization requests by about two-thirds with little effect on the rates.\n";
+  Buffer.contents buf
+
+let print ctx = print_string (render (run ctx))

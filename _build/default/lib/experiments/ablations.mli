@@ -1,0 +1,34 @@
+(** Ablation benches for the design choices the paper motivates but does
+    not sweep exhaustively (DESIGN.md section 5):
+
+    - the {e shape} of the eviction hysteresis (+50/-1 against symmetric
+      counters with the same minimum-misspeculation trigger);
+    - the monitor period (false-positive filtering vs. lost benefit);
+    - the revisit wait period (re-characterization rate vs. churn);
+    - the oscillation cap (the paper reports a two-thirds reduction in
+      re-optimization requests);
+    - the selection threshold.
+
+    Each sweep runs over a representative benchmark subset and reports
+    averaged correct/incorrect rates plus controller churn. *)
+
+type row = {
+  label : string;
+  correct : float;
+  incorrect : float;
+  selections : int;  (** Summed over the subset (re-optimization requests). *)
+  evictions : int;
+  capped : int;
+}
+
+type sweep = { title : string; rows : row list }
+
+type t = { sweeps : sweep list }
+
+val benchmarks : string list
+(** The subset used (crafty, gcc, gzip, mcf: eviction-heavy, huge,
+    self-training-beating and quirky respectively). *)
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

@@ -1,0 +1,21 @@
+(** The paper's findings as executable checks.
+
+    Runs the abstract and MSSP experiments and verdicts each headline
+    claim of the paper against the measured shapes — a one-command answer
+    to "does this reproduction actually reproduce the paper?".  The
+    thresholds are deliberately loose: they encode the claim's {e shape}
+    (ordering, factor, sign), not the paper's absolute numbers, which a
+    synthetic scaled substrate cannot and should not match exactly. *)
+
+type verdict = {
+  claim : string;  (** The paper's statement, paraphrased. *)
+  measured : string;  (** What this run measured. *)
+  pass : bool;
+}
+
+type t = { verdicts : verdict list }
+
+val run : Context.t -> t
+val all_pass : t -> bool
+val render : t -> string
+val print : Context.t -> unit

@@ -1,0 +1,32 @@
+type t = { seed : int; scale : float; tau : int }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string s with _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try float_of_string s with _ -> default)
+  | None -> default
+
+let default =
+  {
+    seed = env_int "RS_SEED" 42;
+    scale = env_float "RS_SCALE" 0.25;
+    tau = env_int "RS_TAU" Rs_workload.Benchmark.default_tau;
+  }
+
+let create ?(seed = default.seed) ?(scale = default.scale) ?(tau = default.tau) () =
+  { seed; scale; tau }
+
+let params_of t p = Rs_core.Params.compress ~factor:t.tau p
+
+let params t = params_of t Rs_core.Params.default
+
+let windows t = Rs_core.Static.windows_for ~tau:t.tau
+
+let build t bm ~input =
+  Rs_workload.Benchmark.build bm ~input ~seed:t.seed ~scale:t.scale ~tau:t.tau
+
+let describe t = Printf.sprintf "seed=%d scale=%.2f tau=%d" t.seed t.scale t.tau

@@ -1,0 +1,39 @@
+(** Shared experiment configuration.
+
+    Every reproduction runs under a context fixing the random seed, the
+    population scale and the time-compression factor, so that a whole
+    bench invocation is reproducible from three numbers (printed in its
+    header). *)
+
+type t = {
+  seed : int;
+  scale : float;  (** Population scale in (0, 1]; see {!Rs_workload.Benchmark.build}. *)
+  tau : int;  (** Time-compression factor; 1 = paper-exact time. *)
+}
+
+val default : t
+(** seed 42, scale 0.25 and tau {!Rs_workload.Benchmark.default_tau},
+    overridable through the [RS_SEED], [RS_SCALE] and [RS_TAU]
+    environment variables. *)
+
+val create : ?seed:int -> ?scale:float -> ?tau:int -> unit -> t
+
+val params : t -> Rs_core.Params.t
+(** Table 2 parameters on the context's compressed clock. *)
+
+val params_of : t -> Rs_core.Params.t -> Rs_core.Params.t
+(** Compress arbitrary parameters (e.g. a Figure 5 variant) onto the
+    context's clock. *)
+
+val windows : t -> int array
+(** Initial-behaviour windows on the compressed clock. *)
+
+val build :
+  t ->
+  Rs_workload.Benchmark.t ->
+  input:Rs_workload.Benchmark.input ->
+  Rs_behavior.Population.t * Rs_behavior.Stream.config
+(** Instantiate a benchmark under this context. *)
+
+val describe : t -> string
+(** One-line header string. *)

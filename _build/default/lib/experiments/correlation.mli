@@ -1,0 +1,20 @@
+(** Section 4.3's correlation observation.
+
+    Because MSSP speculates at task granularity, multiple failed branch
+    speculations inside one task cost a single task squash, so the
+    task-level misspeculation rate is {e noticeably lower} than the
+    branch-level rate the abstract model predicts.  This experiment
+    measures both on the MSSP runs and reports the ratio. *)
+
+type row = {
+  benchmark : string;
+  task_squashes : int;
+  branch_violations : int;
+  ratio : float;  (** branch violations per task squash (>= 1). *)
+}
+
+type t = { rows : row list }
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

@@ -1,0 +1,93 @@
+module Csv = Rs_util.Csv
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let f = Printf.sprintf "%.6f"
+
+let figure2 ctx dir =
+  let t = Figure2.run ctx in
+  let curves = Csv.create ~header:[ "benchmark"; "point"; "correct_rate"; "incorrect_rate" ] in
+  let points =
+    Csv.create ~header:[ "benchmark"; "kind"; "window"; "correct_rate"; "incorrect_rate" ]
+  in
+  List.iter
+    (fun (r : Figure2.row) ->
+      Array.iteri
+        (fun i (p : Figure2.point) ->
+          Csv.add_row curves [ r.benchmark; string_of_int i; f p.correct; f p.incorrect ])
+        r.curve;
+      Csv.add_row points [ r.benchmark; "knee"; ""; f r.knee.correct; f r.knee.incorrect ];
+      Csv.add_row points
+        [ r.benchmark; "offline"; ""; f r.offline.correct; f r.offline.incorrect ];
+      Array.iter
+        (fun (w, (p : Figure2.point)) ->
+          Csv.add_row points
+            [ r.benchmark; "window"; string_of_int w; f p.correct; f p.incorrect ])
+        r.window_points)
+    t.rows;
+  let p1 = Filename.concat dir "figure2_curves.csv" in
+  let p2 = Filename.concat dir "figure2_points.csv" in
+  Csv.save curves p1;
+  Csv.save points p2;
+  [ p1; p2 ]
+
+let figure5 ctx dir =
+  let t = Figure5.run ctx in
+  let csv =
+    Csv.create ~header:[ "benchmark"; "configuration"; "correct_rate"; "incorrect_rate" ]
+  in
+  List.iter
+    (fun (r : Figure5.bench_row) ->
+      Csv.add_row csv
+        [ r.benchmark; "self-training"; f r.self_training.correct; f r.self_training.incorrect ];
+      List.iter
+        (fun (key, (c : Figure5.cell)) ->
+          Csv.add_row csv [ r.benchmark; key; f c.correct; f c.incorrect ])
+        r.by_variant)
+    t.rows;
+  let p = Filename.concat dir "figure5_points.csv" in
+  Csv.save csv p;
+  [ p ]
+
+let figure6 ctx dir =
+  let t = Figure6.run ctx in
+  let csv = Csv.create ~header:[ "bin_low"; "bin_high"; "evictions" ] in
+  List.iter
+    (fun ((lo, hi), count) -> Csv.add_row csv [ f lo; f hi; string_of_int count ])
+    t.histogram;
+  let p = Filename.concat dir "figure6_histogram.csv" in
+  Csv.save csv p;
+  [ p ]
+
+let figure7 ctx dir =
+  let t = Figure7.run ctx in
+  let csv =
+    Csv.create
+      ~header:[ "benchmark"; "closed_1k"; "open_1k"; "closed_10k"; "open_10k" ]
+  in
+  List.iter
+    (fun (r : Figure7.row) ->
+      Csv.add_row csv
+        [ r.benchmark; f r.closed_1k; f r.open_1k; f r.closed_10k; f r.open_10k ])
+    t.rows;
+  let p = Filename.concat dir "figure7_speedups.csv" in
+  Csv.save csv p;
+  [ p ]
+
+let figure8 ctx dir =
+  let t = Figure8.run ctx in
+  let csv =
+    Csv.create ~header:[ "benchmark"; "latency_0"; "latency_1e5"; "latency_1e6" ]
+  in
+  List.iter
+    (fun (r : Figure8.row) ->
+      Csv.add_row csv [ r.benchmark; f r.latency0; f r.latency_100k; f r.latency_1m ])
+    t.rows;
+  let p = Filename.concat dir "figure8_speedups.csv" in
+  Csv.save csv p;
+  [ p ]
+
+let run ctx ~dir =
+  ensure_dir dir;
+  List.concat
+    [ figure2 ctx dir; figure5 ctx dir; figure6 ctx dir; figure7 ctx dir; figure8 ctx dir ]

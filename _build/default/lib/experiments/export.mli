@@ -1,0 +1,14 @@
+(** CSV export of the figure series.
+
+    Writes the raw data behind each figure to [dir] so the plots can be
+    regenerated with any external tool:
+
+    - [figure2_curves.csv]: the per-benchmark Pareto curves;
+    - [figure2_points.csv]: knee / offline / window points;
+    - [figure5_points.csv]: every variant's (correct, incorrect) per
+      benchmark, plus the self-training reference;
+    - [figure6_histogram.csv]: the post-eviction bias distribution;
+    - [figure7_speedups.csv] and [figure8_speedups.csv]. *)
+
+val run : Context.t -> dir:string -> string list
+(** Returns the paths written.  Creates [dir] if missing. *)

@@ -1,0 +1,18 @@
+(** Figure 1: the illustrative MSSP code-approximation example.
+
+    Reconstructs the paper's fragment in our IR, distils it under the
+    profile-indicated assumptions (the [if (x.a)] branch is always taken;
+    [x.d] is frequently 32) and prints the before/after listings, plus a
+    differential-verification verdict on assumption-consistent inputs. *)
+
+type t = {
+  original : Rs_ir.Func.t;
+  distilled : Rs_ir.Func.t;
+  original_size : int;
+  distilled_size : int;
+  verified : (int, string) result;  (** [Ok trials] or the divergence. *)
+}
+
+val run : unit -> t
+val render : t -> string
+val print : Context.t -> unit

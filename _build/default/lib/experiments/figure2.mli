@@ -1,0 +1,26 @@
+(** Figure 2: the correct/incorrect speculation trade-off.
+
+    For each benchmark:
+    - the Pareto-optimal self-training curve (the solid line);
+    - the 99 % threshold point (the circles, "usually at the knee");
+    - the offline-profile point trained on the differing Table 1 input
+      (the triangles);
+    - the initial-behaviour points for each window length (the crosses).
+
+    All rates are fractions of the evaluation run's dynamic branches. *)
+
+type point = { correct : float; incorrect : float }
+
+type row = {
+  benchmark : string;
+  knee : point;  (** Self-training at the 99 % threshold. *)
+  offline : point;
+  window_points : (int * point) array;  (** (window length, point). *)
+  curve : point array;  (** Down-sampled Pareto curve. *)
+}
+
+type t = { rows : row list }
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

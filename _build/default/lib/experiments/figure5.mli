@@ -1,0 +1,34 @@
+(** Figure 5: the reactive model against self-training, across the
+    sensitivity variants.
+
+    Runs every configuration of {!Rs_core.Variants} over every benchmark
+    and reports (correct, incorrect) rates next to the self-training
+    reference.  The paper's findings to reproduce:
+
+    - the baseline is competitive with self-training everywhere and beats
+      it on gzip and mcf;
+    - removing the eviction arc raises misspeculation by nearly two
+      orders of magnitude;
+    - removing the revisit arc loses roughly 20 % of correct
+      speculations;
+    - every other variant clusters near the baseline. *)
+
+type cell = {
+  correct : float;  (** Fraction of dynamic branches correctly speculated. *)
+  incorrect : float;
+}
+
+type bench_row = {
+  benchmark : string;
+  self_training : cell;  (** Pareto point at the 99 % threshold. *)
+  by_variant : (string * cell) list;  (** Keyed by variant key. *)
+}
+
+type t = { rows : bench_row list; variant_order : string list }
+
+val run : Context.t -> t
+val averages : t -> (string * cell) list
+(** Per-variant unweighted averages over benchmarks (Table 4's rows). *)
+
+val render : t -> string
+val print : Context.t -> unit

@@ -1,0 +1,19 @@
+(** Figure 6: instantaneous misprediction rate after leaving the biased
+    state.
+
+    For every eviction, the fraction of the branch's next 64 executions
+    still going in the pre-eviction direction.  The paper's headline: over
+    50 % of evicted branches show a bias below 30 % in the transition
+    period (they softened far or reversed) and ~20 % become perfectly
+    biased the other way. *)
+
+type t = {
+  samples : int;
+  histogram : ((float * float) * int) list;  (** (bin bounds, count). *)
+  below_30pct : float;
+  reversed : float;
+}
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

@@ -1,0 +1,32 @@
+(** Figure 7: MSSP performance with closed- vs open-loop control.
+
+    Per benchmark, speedups over the baseline superscalar for four
+    configurations: closed loop ('c') and open loop ('o') with the fast
+    1,000-execution monitor, and the same with a 10,000-execution monitor
+    ('C', 'O').  The paper's findings: the open-loop policy trails the
+    closed-loop policy by ~18 % (monitor 1k) and ~11 % (monitor 10k), a
+    poor control policy can push MSSP below the vanilla superscalar, and
+    a few benchmarks (eon, gcc, perl, twolf) barely react because little
+    re-characterization is needed. *)
+
+type row = {
+  benchmark : string;
+  closed_1k : float;
+  open_1k : float;
+  closed_10k : float;
+  open_10k : float;
+  squashes_closed : int;
+  squashes_open : int;
+}
+
+type t = { rows : row list }
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit
+
+val mssp_params : monitor:int -> closed:bool -> Rs_core.Params.t
+(** The controller configuration used for the MSSP runs: Table 2 values
+    with the paper's artificially fast hot-region detector (short monitor
+    period), a wait period scaled to the short runs, and zero
+    optimization latency (Figure 7 is measured at latency 0). *)

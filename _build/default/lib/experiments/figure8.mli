@@ -1,0 +1,18 @@
+(** Figure 8: MSSP performance vs (re-)optimization latency.
+
+    Closed-loop runs with optimization latencies of 0, 10^5 and 10^6
+    cycles.  The paper's finding: the three are almost indistinguishable
+    (< 2 % apart) — the reactive controller is latency tolerant. *)
+
+type row = {
+  benchmark : string;
+  latency0 : float;  (** Speedup at zero latency. *)
+  latency_100k : float;
+  latency_1m : float;
+}
+
+type t = { rows : row list }
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

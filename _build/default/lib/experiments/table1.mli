@@ -1,0 +1,10 @@
+(** Table 1: the profile vs. evaluation inputs.
+
+    The paper lists the concrete SPEC inputs chosen so that profile and
+    evaluation behaviour differ; our synthetic stand-in realizes that
+    difference through input-dependent branch directions and a
+    strong-branch coverage gap.  This table prints both the paper's
+    input pairs and the synthetic parameters that substitute for them. *)
+
+val render : Context.t -> string
+val print : Context.t -> unit

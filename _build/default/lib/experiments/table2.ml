@@ -1,0 +1,33 @@
+module Table = Rs_util.Table
+module P = Rs_core.Params
+
+let render ctx =
+  let paper = P.default in
+  let used = Context.params ctx in
+  let t =
+    Table.create ~title:"Table 2: model parameters"
+      ~columns:[ ("parameter", Table.Left); ("paper", Table.Right); ("this run", Table.Right) ]
+  in
+  let row name a b = Table.add_row t [ name; a; b ] in
+  row "monitor period (executions)" (Table.fmt_int paper.monitor_period)
+    (Table.fmt_int used.monitor_period);
+  row "selection threshold"
+    (Table.fmt_pct ~decimals:1 paper.selection_threshold)
+    (Table.fmt_pct ~decimals:1 used.selection_threshold);
+  row "misspeculation threshold"
+    (Printf.sprintf "%s (+%d misp., -%d)" (Table.fmt_int paper.evict_threshold)
+       paper.misspec_step paper.correct_step)
+    (Printf.sprintf "%s (+%d misp., -%d)" (Table.fmt_int used.evict_threshold) used.misspec_step
+       used.correct_step);
+  row "wait period (executions)" (Table.fmt_int paper.wait_period)
+    (Table.fmt_int used.wait_period);
+  row "oscillation threshold"
+    (Printf.sprintf "will not optimize a %dth time" (paper.oscillation_limit + 1))
+    (Printf.sprintf "will not optimize a %dth time" (used.oscillation_limit + 1));
+  row "optimization latency (instructions)"
+    (Table.fmt_int paper.optimization_latency)
+    (Table.fmt_int used.optimization_latency);
+  Table.render t
+  ^ Printf.sprintf "  (time axis compressed by tau=%d; ratios of Table 2 preserved)\n" ctx.tau
+
+let print ctx = print_string (render ctx)

@@ -1,0 +1,5 @@
+(** Table 2: the model parameters, both as published and on the context's
+    compressed clock. *)
+
+val render : Context.t -> string
+val print : Context.t -> unit

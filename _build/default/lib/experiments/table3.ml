@@ -1,0 +1,84 @@
+module BM = Rs_workload.Benchmark
+module Table = Rs_util.Table
+
+type row = { benchmark : string; measured : Rs_sim.Accounting.row; paper : BM.paper_row }
+
+type t = { rows : row list; scale : float }
+
+let run ctx =
+  let rows =
+    List.map
+      (fun (bm : BM.t) ->
+        let pop, cfg = Context.build ctx bm ~input:Ref in
+        let r = Rs_sim.Engine.run pop cfg (Context.params ctx) in
+        { benchmark = bm.name; measured = Rs_sim.Accounting.of_result r; paper = bm.paper })
+      BM.all
+  in
+  { rows; scale = ctx.scale }
+
+let render t =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 3: model transition data (measured counts rescaled by 1/%.2f | paper)" t.scale)
+      ~columns:
+        [
+          ("bench", Table.Left);
+          ("touch", Table.Right);
+          ("bias", Table.Right);
+          ("evict", Table.Right);
+          ("total evicts", Table.Right);
+          ("capped", Table.Right);
+          ("% spec.", Table.Right);
+          ("misspec dist", Table.Right);
+        ]
+  in
+  let up n = int_of_float (float_of_int n /. t.scale) in
+  let pair a b = Printf.sprintf "%s | %s" a b in
+  List.iter
+    (fun r ->
+      let m = r.measured and p = r.paper in
+      Table.add_row tbl
+        [
+          r.benchmark;
+          pair (Table.fmt_int (up m.touched)) (Table.fmt_int p.p_touch);
+          pair (Table.fmt_int (up m.entered_biased)) (Table.fmt_int p.p_bias);
+          pair (Table.fmt_int (up m.evicted)) (Table.fmt_int p.p_evict);
+          pair (Table.fmt_int (up m.total_evictions)) (Table.fmt_int p.p_total_evicts);
+          Table.fmt_int (up m.capped);
+          pair
+            (Printf.sprintf "%.1f%%" (m.correct_rate *. 100.0))
+            (Printf.sprintf "%.1f%%" p.p_spec_pct);
+          pair
+            (if Float.is_finite m.misspec_distance then
+               Table.fmt_int (int_of_float m.misspec_distance)
+             else "inf")
+            (Table.fmt_int p.p_misspec_dist);
+        ])
+    t.rows;
+  Table.add_sep tbl;
+  let avg = Rs_sim.Accounting.average (List.map (fun r -> r.measured) t.rows) in
+  let biased_frac =
+    List.fold_left
+      (fun a r ->
+        a
+        +. float_of_int r.measured.entered_biased
+           /. float_of_int (max 1 r.measured.touched))
+      0.0 t.rows
+    /. float_of_int (List.length t.rows)
+  in
+  Table.add_row tbl
+    [
+      "ave";
+      "";
+      Printf.sprintf "%.0f%% | 34%%" (biased_frac *. 100.0);
+      "";
+      Printf.sprintf "%s | 76" (Table.fmt_int (up avg.total_evictions));
+      Table.fmt_int (up avg.capped);
+      Printf.sprintf "%.1f%% | 44.8%%" (avg.correct_rate *. 100.0);
+      Printf.sprintf "%s | 65,000" (Table.fmt_int (int_of_float avg.misspec_distance));
+    ];
+  Table.render tbl
+
+let print ctx = print_string (render (run ctx))

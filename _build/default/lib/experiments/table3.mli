@@ -1,0 +1,19 @@
+(** Table 3: model transition data under the baseline reactive model.
+
+    Static-branch counts (touched / entered biased / evicted, total
+    evictions) scale with the population, so the table prints measured
+    counts scaled back up by [1 / scale] next to the paper's; rates
+    (% speculated) compare directly.  Misspeculation distances are
+    compressed by the run-length compression (see EXPERIMENTS.md). *)
+
+type row = {
+  benchmark : string;
+  measured : Rs_sim.Accounting.row;
+  paper : Rs_workload.Benchmark.paper_row;
+}
+
+type t = { rows : row list; scale : float }
+
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

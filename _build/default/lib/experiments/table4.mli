@@ -1,0 +1,13 @@
+(** Table 4: model sensitivity — per-configuration averages of correct and
+    incorrect speculation rates.  Derivable from a {!Figure5} run (they
+    share the underlying simulations). *)
+
+type row = { label : string; correct : float; incorrect : float }
+
+type t = { rows : row list }
+(** In the paper's order: most conservative first, no-eviction last. *)
+
+val of_figure5 : Figure5.t -> t
+val run : Context.t -> t
+val render : t -> string
+val print : Context.t -> unit

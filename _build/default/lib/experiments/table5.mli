@@ -1,0 +1,5 @@
+(** Table 5: MSSP simulation parameters (printed from the machine
+    configuration actually used). *)
+
+val render : Context.t -> string
+val print : Context.t -> unit

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Func Instr List Printf

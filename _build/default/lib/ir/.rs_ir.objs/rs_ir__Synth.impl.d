@@ -1,0 +1,1 @@
+lib/ir/synth.ml: Array Func Instr Interp List Printf Rs_util

@@ -1,0 +1,1 @@
+lib/ir/synth.mli: Func Interp Rs_util

@@ -1,0 +1,83 @@
+type label = int
+
+type terminator =
+  | Jump of label
+  | Branch of { cond : Instr.reg; site : int; taken : label; not_taken : label }
+  | Ret of Instr.reg option
+
+type block = { body : Instr.t array; term : terminator }
+
+type t = { name : string; entry : label; blocks : block array; nregs : int }
+
+let block t l = t.blocks.(l)
+
+let successors b =
+  match b.term with
+  | Jump l -> [ l ]
+  | Branch { taken; not_taken; _ } -> [ taken; not_taken ]
+  | Ret _ -> []
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let n = Array.length t.blocks in
+  if n = 0 then err "function %s has no blocks" t.name
+  else if t.entry < 0 || t.entry >= n then err "entry label %d out of range" t.entry
+  else begin
+    let ok = ref (Ok ()) in
+    let check_label l =
+      if (l < 0 || l >= n) && !ok = Ok () then ok := err "label %d out of range" l
+    in
+    let check_reg r =
+      if (r < 0 || r >= t.nregs) && !ok = Ok () then ok := err "register %d out of range" r
+    in
+    Array.iter
+      (fun b ->
+        Array.iter
+          (fun i ->
+            List.iter check_reg (Instr.uses i);
+            Option.iter check_reg (Instr.def i))
+          b.body;
+        (match b.term with
+        | Branch { cond; _ } -> check_reg cond
+        | Ret (Some r) -> check_reg r
+        | Jump _ | Ret None -> ());
+        List.iter check_label (successors b))
+      t.blocks;
+    !ok
+  end
+
+let sites t =
+  Array.fold_right
+    (fun b acc -> match b.term with Branch { site; _ } -> site :: acc | _ -> acc)
+    t.blocks []
+
+let static_size t =
+  Array.fold_left (fun acc b -> acc + Array.length b.body + 1) 0 t.blocks
+
+let map_blocks f t = { t with blocks = Array.mapi f t.blocks }
+
+let reachable t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec go l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter go (successors t.blocks.(l))
+    end
+  in
+  go t.entry;
+  seen
+
+let pp ppf t =
+  Format.fprintf ppf "%s:  (entry L%d, %d regs)@." t.name t.entry t.nregs;
+  Array.iteri
+    (fun l b ->
+      Format.fprintf ppf "L%d:@." l;
+      Array.iter (fun i -> Format.fprintf ppf "    %a@." Instr.pp i) b.body;
+      match b.term with
+      | Jump l' -> Format.fprintf ppf "    br    L%d@." l'
+      | Branch { cond; site; taken; not_taken } ->
+        Format.fprintf ppf "    bne   r%d, L%d  ; site %d (else L%d)@." cond taken site
+          not_taken
+      | Ret None -> Format.fprintf ppf "    ret@."
+      | Ret (Some r) -> Format.fprintf ppf "    ret   r%d@." r)
+    t.blocks

@@ -1,0 +1,44 @@
+(** Basic blocks, control flow and whole functions. *)
+
+type label = int
+(** Block index within its function. *)
+
+type terminator =
+  | Jump of label
+  | Branch of { cond : Instr.reg; site : int; taken : label; not_taken : label }
+      (** Conditional branch: taken when the register is non-zero.
+          [site] is the static branch-site id the speculation controller
+          tracks. *)
+  | Ret of Instr.reg option
+
+type block = { body : Instr.t array; term : terminator }
+
+type t = {
+  name : string;
+  entry : label;
+  blocks : block array;  (** Indexed by label. *)
+  nregs : int;  (** Registers used are in [0, nregs). *)
+}
+
+val validate : t -> (unit, string) result
+(** Check: entry and all jump/branch targets in range; registers in
+    range; at least one block. *)
+
+val block : t -> label -> block
+
+val sites : t -> int list
+(** All branch-site ids, in block order. *)
+
+val static_size : t -> int
+(** Instructions in the function, terminators included (a jump or branch
+    counts 1, [Ret] counts 1). *)
+
+val map_blocks : (label -> block -> block) -> t -> t
+
+val successors : block -> label list
+
+val reachable : t -> bool array
+(** Blocks reachable from the entry. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-style listing with block labels. *)

@@ -1,0 +1,54 @@
+type result = { return_value : int option; dyn_instrs : int; blocks_visited : int }
+
+exception Stuck of string
+
+let run ?regs ?(hook = fun ~site:_ ~taken:_ -> ()) ?(max_steps = 1_000_000) (f : Func.t)
+    ~mem =
+  let r = Array.make f.nregs 0 in
+  (match regs with
+  | Some init -> Array.blit init 0 r 0 (min (Array.length init) f.nregs)
+  | None -> ());
+  let mem_size = Array.length mem in
+  let steps = ref 0 in
+  let blocks = ref 0 in
+  let addr base off =
+    let a = base + off in
+    if a < 0 || a >= mem_size then raise (Stuck (Printf.sprintf "address %d out of bounds" a));
+    a
+  in
+  let exec (i : Instr.t) =
+    match i with
+    | Li (rd, v) -> r.(rd) <- v
+    | Mov (rd, rs) -> r.(rd) <- r.(rs)
+    | Binop (op, rd, rs1, rs2) -> r.(rd) <- Instr.eval_binop op r.(rs1) r.(rs2)
+    | Addi (rd, rs, v) -> r.(rd) <- r.(rs) + v
+    | Cmp (c, rd, rs1, rs2) -> r.(rd) <- (if Instr.eval_cmp c r.(rs1) r.(rs2) then 1 else 0)
+    | Cmpi (c, rd, rs, v) -> r.(rd) <- (if Instr.eval_cmp c r.(rs) v then 1 else 0)
+    | Load (rd, rs, off) -> r.(rd) <- mem.(addr r.(rs) off)
+    | Store (rs1, rs2, off) -> mem.(addr r.(rs1) off) <- r.(rs2)
+  in
+  let rec go label =
+    incr blocks;
+    let b = f.blocks.(label) in
+    let body_len = Array.length b.body in
+    steps := !steps + body_len + 1;
+    if !steps > max_steps then raise (Stuck "step budget exceeded");
+    for i = 0 to body_len - 1 do
+      exec b.body.(i)
+    done;
+    match b.term with
+    | Jump l -> go l
+    | Branch { cond; site; taken; not_taken } ->
+      let t = r.(cond) <> 0 in
+      hook ~site ~taken:t;
+      go (if t then taken else not_taken)
+    | Ret reg -> (match reg with Some x -> Some r.(x) | None -> None)
+  in
+  let return_value = go f.entry in
+  { return_value; dyn_instrs = !steps; blocks_visited = !blocks }
+
+let branch_outcomes f ~mem =
+  let out = ref [] in
+  let hook ~site ~taken = out := (site, taken) :: !out in
+  let _ = run ~hook f ~mem in
+  List.rev !out

@@ -1,0 +1,30 @@
+(** Reference interpreter.
+
+    Executes a function over a flat integer memory, counting dynamic
+    instructions and reporting every conditional-branch outcome through a
+    hook.  Used to (1) compute per-path dynamic lengths for the MSSP
+    timing model, (2) differentially verify the distiller, and (3) drive
+    the examples. *)
+
+type result = {
+  return_value : int option;
+  dyn_instrs : int;  (** Executed instructions, terminators included. *)
+  blocks_visited : int;
+}
+
+exception Stuck of string
+(** Raised on an out-of-bounds memory access or a step-budget overrun. *)
+
+val run :
+  ?regs:int array ->
+  ?hook:(site:int -> taken:bool -> unit) ->
+  ?max_steps:int ->
+  Func.t ->
+  mem:int array ->
+  result
+(** Execute from the entry block.  [regs] seeds the register file (zeros
+    by default; the array is not modified).  [max_steps] (default 1M)
+    bounds runaway loops.  Memory is modified in place. *)
+
+val branch_outcomes : Func.t -> mem:int array -> (int * bool) list
+(** [(site, taken)] outcomes in execution order for one run. *)

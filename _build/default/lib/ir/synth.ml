@@ -1,0 +1,169 @@
+module Prng = Rs_util.Prng
+
+type t = { func : Func.t; site_ids : int array; mem_size : int }
+
+(* Register conventions inside generated regions. *)
+let r_inbase = 0 (* base of the input cells *)
+let r_globals = 1 (* base of the global scratch area *)
+let r_acc1 = 2
+let r_acc2 = 3
+let r_mode = 4
+(* r5..r9 are short-lived temporaries *)
+let nregs = 10
+let n_globals = 16
+
+let generate ~rng ?(n_sites = 4) ~first_site () =
+  if n_sites <= 0 then invalid_arg "Synth.generate: n_sites must be positive";
+  let k = n_sites in
+  let globals_base = k in
+  let out_base = k + n_globals in
+  let mem_size = out_base + 2 in
+  let g () = Prng.int rng n_globals in
+  let blocks = ref [] in
+  (* labels: cond_j = 3j, taken_j = 3j+1, fall_j = 3j+2, exit = 3k *)
+  let exit_label = 3 * k in
+  for j = 0 to k - 1 do
+    let site = first_site + j in
+    let next = if j = k - 1 then exit_label else 3 * (j + 1) in
+    (* mode-dependent join work from the previous site: collapses to a
+       constant chain once the previous branch's direction is assumed *)
+    let join_work =
+      if j = 0 then []
+      else
+        [
+          Instr.Addi (5, r_mode, 3 + Prng.int rng 13);
+          Instr.Binop (Xor, 6, 5, r_mode);
+          Instr.Addi (6, 6, 1 + Prng.int rng 7);
+          Instr.Binop (Add, r_acc1, r_acc1, 6);
+        ]
+    in
+    (* condition slice: every instruction feeds the branch condition, so
+       the whole slice is live in the original and dead once the branch
+       is removed.  The input cell holds 0 or 1; the chain preserves
+       truthiness: (((in << 3) | in) + c) != c  <=>  in != 0. *)
+    let c = 17 + Prng.int rng 31 in
+    let cond_slice =
+      [
+        Instr.Load (5, r_inbase, j);
+        Instr.Li (8, 3);
+        Instr.Binop (Shl, 6, 5, 8);
+        Instr.Binop (Or, 6, 6, 5);
+        Instr.Addi (6, 6, c);
+        Instr.Cmpi (Ne, 7, 6, c);
+      ]
+    in
+    (* work that stays live either way *)
+    let live_work =
+      [ Instr.Load (9, r_globals, g ()); Instr.Binop (Add, r_acc1, r_acc1, 9) ]
+    in
+    let cond_block =
+      {
+        Func.body = Array.of_list (join_work @ cond_slice @ live_work);
+        term =
+          Func.Branch { cond = 7; site; taken = (3 * j) + 1; not_taken = (3 * j) + 2 };
+      }
+    in
+    let side const_v =
+      let extra = Prng.int rng 3 in
+      let ops =
+        [ Instr.Li (r_mode, const_v); Instr.Load (9, r_globals, g ());
+          Instr.Binop (Add, r_acc2, r_acc2, 9);
+          Instr.Addi (r_acc2, r_acc2, 1 + Prng.int rng 9) ]
+        @ (if extra >= 1 then [ Instr.Binop (Xor, r_acc2, r_acc2, r_mode) ] else [])
+        @ (if extra >= 2 then [ Instr.Addi (r_acc1, r_acc1, 3) ] else [])
+      in
+      { Func.body = Array.of_list ops; term = Func.Jump next }
+    in
+    blocks := side (200 + Prng.int rng 55) :: side (100 + Prng.int rng 55) :: cond_block
+              :: !blocks
+    (* order accumulated reversed: cond, taken, fall *)
+  done;
+  let exit_block =
+    {
+      Func.body =
+        [|
+          (* the last site's mode register feeds the output too, so its
+             Li is live in the original and folds away when that site's
+             branch direction is assumed *)
+          Instr.Binop (Add, r_acc1, r_acc1, r_mode);
+          Instr.Store (r_globals, r_acc1, n_globals);
+          Instr.Store (r_globals, r_acc2, n_globals + 1);
+        |];
+      term = Func.Ret (Some r_acc1);
+    }
+  in
+  let blocks = Array.of_list (List.rev (exit_block :: !blocks)) in
+  let func =
+    {
+      Func.name = Printf.sprintf "region_%d" first_site;
+      entry = 0;
+      blocks;
+      nregs;
+    }
+  in
+  (* seed the base registers through immediate loads in a prologue: we
+     instead rely on the interpreter's zeroed registers for r_inbase and
+     set r_globals via an entry instruction *)
+  let entry = func.blocks.(0) in
+  let entry =
+    { entry with Func.body = Array.append [| Instr.Li (r_globals, globals_base) |] entry.body }
+  in
+  let func = { func with blocks = (Array.mapi (fun i b -> if i = 0 then entry else b) blocks) } in
+  (match Func.validate func with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Synth.generate produced an invalid function: " ^ e));
+  { func; site_ids = Array.init k (fun j -> first_site + j); mem_size }
+
+let set_inputs t ~mem outcomes =
+  if Array.length outcomes <> Array.length t.site_ids then
+    invalid_arg "Synth.set_inputs: arity mismatch";
+  Array.iteri (fun j taken -> mem.(j) <- (if taken then 1 else 0)) outcomes
+
+let run t ~outcomes =
+  let mem = Array.make t.mem_size 0 in
+  set_inputs t ~mem outcomes;
+  Interp.run t.func ~mem
+
+(* Figure 1(a): x is a 4-field struct at the address in r16;
+   x.a (offset 0) is almost always true, x.d (offset 3) is frequently 32.
+   Site 0 is the if (x.a) branch; site 1 the temp > x.d comparison. *)
+let figure1 () =
+  let func =
+    {
+      Func.name = "figure1";
+      entry = 0;
+      nregs = 17;
+      blocks =
+        [|
+          (* L0 *)
+          {
+            Func.body =
+              [| Instr.Load (1, 16, 1) (* temp = x.b *); Instr.Load (2, 16, 0) (* x.a *);
+                 Instr.Cmpi (Ne, 4, 2, 0) |];
+            term = Func.Branch { cond = 4; site = 0; taken = 1; not_taken = 2 };
+          };
+          (* L1: temp = x.c *)
+          { Func.body = [| Instr.Load (1, 16, 2) |]; term = Func.Jump 2 };
+          (* L2: if (temp < x.d) *)
+          {
+            Func.body = [| Instr.Load (3, 16, 3); Instr.Cmp (Lt, 5, 1, 3) |];
+            term = Func.Branch { cond = 5; site = 1; taken = 3; not_taken = 4 };
+          };
+          (* L3 / L4: record which way we went *)
+          {
+            Func.body = [| Instr.Li (6, 1); Instr.Store (16, 6, 4) |];
+            term = Func.Jump 5;
+          };
+          {
+            Func.body = [| Instr.Li (6, 0); Instr.Store (16, 6, 4) |];
+            term = Func.Jump 5;
+          };
+          (* L5 *)
+          { Func.body = [||]; term = Func.Ret (Some 6) };
+        |];
+    }
+  in
+  (match Func.validate func with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Synth.figure1 invalid: " ^ e));
+  (func, [ (0, true) ])

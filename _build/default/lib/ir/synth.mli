@@ -1,0 +1,39 @@
+(** Synthetic hot-region generator.
+
+    The MSSP dynamic optimizer works on hot program regions (a function
+    or loop body, roughly 100 instructions in the paper).  This module
+    generates such regions: a chain of [k] conditional-branch sites whose
+    inputs are read from designated memory cells, each with
+
+    - a condition-computation slice that becomes dead when the branch is
+      removed (the Figure 1 pattern: the load and compare feeding a
+      highly-biased branch disappear from the distilled code);
+    - taken/not-taken sides doing different work and setting a mode
+      register to different constants;
+    - join work depending on the mode register, which constant-folds away
+      once the branch direction is assumed.
+
+    The harness drives a region by writing each site's outcome into its
+    input cell and interpreting the function. *)
+
+type t = {
+  func : Func.t;
+  site_ids : int array;  (** Global site ids, in chain order. *)
+  mem_size : int;  (** Memory words the region touches. *)
+}
+
+val generate : rng:Rs_util.Prng.t -> ?n_sites:int -> first_site:int -> unit -> t
+(** Build a region with [n_sites] (default 4) branch sites, numbered
+    [first_site, first_site + n_sites). *)
+
+val set_inputs : t -> mem:int array -> bool array -> unit
+(** Write the desired branch outcomes ([true] = taken) into the region's
+    input cells.  @raise Invalid_argument on arity mismatch. *)
+
+val run : t -> outcomes:bool array -> Interp.result
+(** Interpret the region on a fresh memory with the given outcomes. *)
+
+val figure1 : unit -> Func.t * (int * bool) list
+(** The paper's Figure 1(a) fragment — a biased [if (x.a)] guarding a
+    compare against a frequently-constant field — together with the
+    assumption set of Figure 1(b) ([(site, direction)] pairs). *)

@@ -1,0 +1,1 @@
+lib/mssp/gshare.ml: Array Rs_util

@@ -1,0 +1,1 @@
+lib/mssp/gshare.mli:

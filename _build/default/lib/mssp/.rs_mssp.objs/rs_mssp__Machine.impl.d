@@ -1,0 +1,1 @@
+lib/mssp/machine.ml: Array Config Float Gshare Hashtbl List Logs Queue Region_model Rs_behavior Rs_core Rs_distill Rs_util Workload

@@ -1,0 +1,1 @@
+lib/mssp/machine.mli: Config Rs_core Workload

@@ -1,0 +1,1 @@
+lib/mssp/region_model.ml: Array Hashtbl List Rs_distill Rs_ir

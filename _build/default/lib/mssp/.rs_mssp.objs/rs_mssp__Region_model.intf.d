@@ -1,0 +1,1 @@
+lib/mssp/region_model.mli: Rs_distill Rs_ir

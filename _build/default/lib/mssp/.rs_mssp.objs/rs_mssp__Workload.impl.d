@@ -1,0 +1,1 @@
+lib/mssp/workload.ml: Array Hashtbl List Region_model Rs_behavior Rs_ir Rs_util

@@ -1,0 +1,1 @@
+lib/mssp/workload.mli: Region_model Rs_behavior

@@ -1,0 +1,31 @@
+type t = {
+  counters : Rs_util.Sat_counter.Updown.t array;
+  mask : int;
+  mutable history : int;
+  mutable predictions : int;
+  mutable correct : int;
+}
+
+let create ~bits =
+  if bits <= 0 || bits > 24 then invalid_arg "Gshare.create: bits out of range";
+  {
+    counters = Array.init (1 lsl bits) (fun _ -> Rs_util.Sat_counter.Updown.create ~bits:2);
+    mask = (1 lsl bits) - 1;
+    history = 0;
+    predictions = 0;
+    correct = 0;
+  }
+
+let predict_and_update t ~pc ~taken =
+  let idx = (pc lxor t.history) land t.mask in
+  let c = t.counters.(idx) in
+  let prediction = Rs_util.Sat_counter.Updown.predict c in
+  Rs_util.Sat_counter.Updown.update c taken;
+  t.history <- ((t.history lsl 1) lor (if taken then 1 else 0)) land t.mask;
+  t.predictions <- t.predictions + 1;
+  let ok = prediction = taken in
+  if ok then t.correct <- t.correct + 1;
+  ok
+
+let accuracy t =
+  if t.predictions = 0 then 1.0 else float_of_int t.correct /. float_of_int t.predictions

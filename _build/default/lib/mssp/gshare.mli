@@ -1,0 +1,15 @@
+(** A gshare branch predictor (global history XOR PC indexing a table of
+    2-bit counters), used to charge branch-misprediction refills to cores
+    executing unspeculated code. *)
+
+type t
+
+val create : bits:int -> t
+(** [create ~bits] builds a [2^bits]-entry table. *)
+
+val predict_and_update : t -> pc:int -> taken:bool -> bool
+(** Predict the branch at [pc], update the tables with the actual
+    outcome, and return whether the prediction was {e correct}. *)
+
+val accuracy : t -> float
+(** Fraction of predictions that were correct so far (1.0 if none). *)

@@ -1,0 +1,230 @@
+module Prng = Rs_util.Prng
+module B = Rs_behavior.Behavior
+module Reactive = Rs_core.Reactive
+module Types = Rs_core.Types
+module Assumptions = Rs_distill.Assumptions
+
+let src = Logs.Src.create "rspec.mssp" ~doc:"MSSP asymmetric-CMP timing simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  mssp_cycles : float;
+  baseline_cycles : float;
+  tasks : int;
+  squashes : int;
+  violated_branches : int;
+  orig_instrs : int;
+  master_instrs : int;
+  recompilations : int;
+  baseline_mispredict_rate : float;
+  evictions : int;
+  selections : int;
+}
+
+let speedup s = s.baseline_cycles /. s.mssp_cycles
+
+(* Pack the controller's deployed decisions for a region's sites into an
+   integer cache key: 2 bits per site (speculate, direction). *)
+let decision_key controller site_ids =
+  let key = ref 0 in
+  Array.iteri
+    (fun j site ->
+      let d = Reactive.deployed controller site in
+      let bits = (if d.Types.speculate then 1 else 0) lor (if d.direction then 2 else 0) in
+      key := !key lor (bits lsl (2 * j)))
+    site_ids;
+  !key
+
+let assumptions_of controller site_ids =
+  let branches = ref [] in
+  Array.iter
+    (fun site ->
+      let d = Reactive.deployed controller site in
+      if d.Types.speculate then branches := (site, d.direction) :: !branches)
+    site_ids;
+  Assumptions.branches (List.rev !branches)
+
+let run ?(config = Config.default) (inst : Workload.instance) ~seed ~params =
+  let rng = Prng.create ((seed * 2_654_435) + 17) in
+  let site_rngs = Array.init inst.n_sites (fun _ -> Prng.split rng) in
+  let site_execs = Array.make inst.n_sites 0 in
+  let controller = Reactive.create ~n_branches:inst.n_sites params in
+  let baseline_pred = Gshare.create ~bits:config.predictor_bits in
+  let master_pred = Gshare.create ~bits:config.predictor_bits in
+  (* per-region version cache keyed by packed decisions *)
+  let version_cache = Array.init (Array.length inst.regions) (fun _ -> Hashtbl.create 8) in
+  (* region sampler *)
+  let region_pop =
+    Rs_behavior.Population.create
+      (Array.mapi
+         (fun id w -> { Rs_behavior.Population.id; behavior = B.Stationary 0.5; weight = w })
+         inst.region_weights)
+  in
+  let sampler = Rs_behavior.Population.Alias.prepare region_pop in
+  let pick_rng = Prng.split rng in
+  let lead_ipc = config.leading.effective_ipc in
+  let trail_ipc = config.trailing.effective_ipc in
+  let lead_depth = float_of_int config.leading.pipeline_depth in
+  (* machine state *)
+  let master_clock = ref 0.0 in
+  let baseline_clock = ref 0.0 in
+  let slave_free = Array.make config.n_trailing 0.0 in
+  let inflight = Queue.create () in
+  let squashes = ref 0 in
+  let violated_branches = ref 0 in
+  let orig_instrs = ref 0 in
+  let master_instrs = ref 0 in
+  let pick_slave () =
+    let best = ref 0 in
+    for i = 1 to config.n_trailing - 1 do
+      if slave_free.(i) < slave_free.(!best) then best := i
+    done;
+    !best
+  in
+  for _task = 1 to inst.spec.tasks do
+    let r = Rs_behavior.Population.Alias.draw sampler pick_rng in
+    let region = inst.regions.(r) in
+    let site_ids = Region_model.site_ids region in
+    (* current deployed speculative version of this region *)
+    let key = decision_key controller site_ids in
+    let version =
+      match Hashtbl.find_opt version_cache.(r) key with
+      | Some v -> v
+      | None ->
+        let v = Region_model.version region (assumptions_of controller site_ids) in
+        Hashtbl.add version_cache.(r) key v;
+        v
+    in
+    (* a task spans several iterations of the hot region; sample each
+       iteration's branch outcomes independently *)
+    let orig_len = ref 0 in
+    let dist_len = ref 0 in
+    let violated = ref false in
+    let task_violations = ref 0 in
+    let iter_outcomes = Array.make config.iters_per_task 0 in
+    for it = 0 to config.iters_per_task - 1 do
+      let outcomes = ref 0 in
+      Array.iteri
+        (fun j site ->
+          let taken =
+            B.sample inst.behaviors.(site) ~rng:site_rngs.(site)
+              ~exec_index:site_execs.(site) ~instr:!orig_instrs
+          in
+          site_execs.(site) <- site_execs.(site) + 1;
+          if taken then outcomes := !outcomes lor (1 lsl j))
+        site_ids;
+      iter_outcomes.(it) <- !outcomes;
+      orig_len := !orig_len + Region_model.original_length region ~outcomes:!outcomes;
+      dist_len := !dist_len + Region_model.Version.length version ~outcomes:!outcomes;
+      if Region_model.Version.violated version ~outcomes:!outcomes then violated := true;
+      task_violations :=
+        !task_violations + Region_model.Version.violations version ~outcomes:!outcomes
+    done;
+    let orig_len = !orig_len in
+    let dist_len = !dist_len in
+    let violated = !violated in
+    (* ---- baseline superscalar: original code on the leading core ---- *)
+    let base_mp = ref 0 in
+    let branches =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun outcomes -> Region_model.original_branches region ~outcomes)
+              iter_outcomes))
+    in
+    Array.iter
+      (fun (site, taken) ->
+        if not (Gshare.predict_and_update baseline_pred ~pc:(site * 97) ~taken) then
+          incr base_mp)
+      branches;
+    baseline_clock :=
+      !baseline_clock
+      +. (float_of_int orig_len /. lead_ipc)
+      +. (float_of_int !base_mp *. lead_depth);
+    (* ---- MSSP ---- *)
+    (* the master may run at most [max_inflight_tasks] tasks ahead of
+       verification *)
+    if Queue.length inflight >= config.max_inflight_tasks then begin
+      let oldest = Queue.pop inflight in
+      if oldest > !master_clock then master_clock := oldest
+    end;
+    (* master executes the distilled task; remaining (non-assumed)
+       branches still run through its predictor *)
+    let m_mp = ref 0 in
+    let assumed = version |> Region_model.Version.assumptions in
+    Array.iter
+      (fun (site, taken) ->
+        if Assumptions.direction assumed site = None then begin
+          if not (Gshare.predict_and_update master_pred ~pc:(site * 97) ~taken) then
+            incr m_mp
+        end)
+      branches;
+    let exec_cycles =
+      (float_of_int dist_len /. lead_ipc)
+      +. (float_of_int !m_mp *. lead_depth)
+      +. float_of_int config.task_overhead
+    in
+    let master_finish = !master_clock +. exec_cycles in
+    master_instrs := !master_instrs + dist_len;
+    (* verification on the least-loaded trailing core *)
+    let s = pick_slave () in
+    let verify_start =
+      Float.max (master_finish +. float_of_int config.coherence_hop) slave_free.(s)
+    in
+    let verify_done =
+      verify_start
+      +. (float_of_int orig_len /. trail_ipc)
+      +. float_of_int config.coherence_hop
+    in
+    slave_free.(s) <- verify_done;
+    if violated then begin
+      (* detected at verification: roll back and re-execute the task
+         non-speculatively on the master *)
+      incr squashes;
+      violated_branches := !violated_branches + !task_violations;
+      Queue.clear inflight;
+      master_clock :=
+        verify_done
+        +. float_of_int config.recovery_penalty
+        +. (float_of_int orig_len /. lead_ipc)
+    end
+    else begin
+      master_clock := master_finish;
+      Queue.push verify_done inflight
+    end;
+    orig_instrs := !orig_instrs + orig_len;
+    (* the trailing execution profiles every branch for the controller *)
+    Array.iter
+      (fun (site, taken) -> Reactive.observe controller ~branch:site ~taken ~instr:!orig_instrs)
+      branches
+  done;
+  (* account for verification draining at the end *)
+  let final =
+    Queue.fold (fun acc t -> Float.max acc t) !master_clock inflight
+  in
+  let recompilations =
+    Array.fold_left (fun acc r -> acc + Region_model.recompilations r) 0 inst.regions
+  in
+  Log.debug (fun m ->
+      m "%s: %d tasks, %d squashes, %d recompilations, speedup %.2f" inst.spec.name
+        inst.spec.tasks !squashes recompilations
+        (!baseline_clock /. Float.max final 1.0));
+  let selections = ref 0 and evictions = ref 0 in
+  for s = 0 to inst.n_sites - 1 do
+    selections := !selections + Reactive.selections controller s;
+    evictions := !evictions + Reactive.evictions controller s
+  done;
+  {
+    mssp_cycles = final;
+    baseline_cycles = !baseline_clock;
+    tasks = inst.spec.tasks;
+    squashes = !squashes;
+    violated_branches = !violated_branches;
+    orig_instrs = !orig_instrs;
+    master_instrs = !master_instrs;
+    recompilations;
+    baseline_mispredict_rate = 1.0 -. Gshare.accuracy baseline_pred;
+    evictions = !evictions;
+    selections = !selections;
+  }

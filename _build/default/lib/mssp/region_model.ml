@@ -1,0 +1,120 @@
+module Synth = Rs_ir.Synth
+module Interp = Rs_ir.Interp
+module Assumptions = Rs_distill.Assumptions
+
+let outcomes_array k packed = Array.init k (fun j -> packed land (1 lsl j) <> 0)
+
+(* Interpret [func] with the region's input cells set from the packed
+   outcome vector, returning (dyn length, branches executed). *)
+let measure (region : Synth.t) func packed =
+  let mem = Array.make region.mem_size 0 in
+  let k = Array.length region.site_ids in
+  Synth.set_inputs region ~mem (outcomes_array k packed);
+  let branches = ref [] in
+  let hook ~site ~taken = branches := (site, taken) :: !branches in
+  let r = Interp.run ~hook func ~mem in
+  (r.dyn_instrs, Array.of_list (List.rev !branches))
+
+module Version = struct
+  type v = {
+    assumptions : Assumptions.t;
+    static_original : int;
+    static_distilled : int;
+    lengths : int array;
+    branch_counts : int array;
+    violated_mask : int;  (** Bits of assumed sites. *)
+    assumed_bits : int;  (** Expected values of those bits. *)
+  }
+
+  let assumptions v = v.assumptions
+  let static_original v = v.static_original
+  let static_distilled v = v.static_distilled
+  let length v ~outcomes = v.lengths.(outcomes)
+  let violated v ~outcomes = outcomes land v.violated_mask <> v.assumed_bits
+
+  let violations v ~outcomes =
+    let diff = (outcomes land v.violated_mask) lxor v.assumed_bits in
+    let rec popcount x acc = if x = 0 then acc else popcount (x lsr 1) (acc + (x land 1)) in
+    popcount diff 0
+  let branches_executed v ~outcomes = v.branch_counts.(outcomes)
+end
+
+type t = {
+  region : Synth.t;
+  cache : Rs_distill.Distill.Cache.t;
+  k : int;
+  orig_lengths : int array;
+  orig_branches : (int * bool) array array;
+  versions : (string, Version.v) Hashtbl.t;
+}
+
+let create region =
+  let k = Array.length region.Synth.site_ids in
+  if k > 16 then invalid_arg "Region_model.create: too many sites for table precomputation";
+  let n = 1 lsl k in
+  let orig_lengths = Array.make n 0 in
+  let orig_branches = Array.make n [||] in
+  for v = 0 to n - 1 do
+    let len, brs = measure region region.Synth.func v in
+    orig_lengths.(v) <- len;
+    orig_branches.(v) <- brs
+  done;
+  {
+    region;
+    cache = Rs_distill.Distill.Cache.create region.Synth.func;
+    k;
+    orig_lengths;
+    orig_branches;
+    versions = Hashtbl.create 8;
+  }
+
+let n_sites t = t.k
+let site_ids t = t.region.Synth.site_ids
+
+let original_length t ~outcomes = t.orig_lengths.(outcomes)
+let original_branches t ~outcomes = t.orig_branches.(outcomes)
+
+let site_bit t site =
+  let rec go j =
+    if j >= t.k then invalid_arg "Region_model: unknown site"
+    else if t.region.Synth.site_ids.(j) = site then j
+    else go (j + 1)
+  in
+  go 0
+
+let version t assumptions =
+  let key = Assumptions.signature assumptions in
+  match Hashtbl.find_opt t.versions key with
+  | Some v -> v
+  | None ->
+    let result = Rs_distill.Distill.Cache.get t.cache assumptions in
+    let n = 1 lsl t.k in
+    let lengths = Array.make n 0 in
+    let branch_counts = Array.make n 0 in
+    for packed = 0 to n - 1 do
+      let len, brs = measure t.region result.distilled packed in
+      lengths.(packed) <- len;
+      branch_counts.(packed) <- Array.length brs
+    done;
+    let violated_mask, assumed_bits =
+      List.fold_left
+        (fun (m, b) (site, dir) ->
+          let bit = 1 lsl site_bit t site in
+          (m lor bit, if dir then b lor bit else b))
+        (0, 0) assumptions.Assumptions.branches
+    in
+    let v =
+      {
+        Version.assumptions;
+        static_original = result.original_size;
+        static_distilled = result.distilled_size;
+        lengths;
+        branch_counts;
+        violated_mask;
+        assumed_bits;
+      }
+    in
+    Hashtbl.add t.versions key v;
+    v
+
+let recompilations t = Hashtbl.length t.versions

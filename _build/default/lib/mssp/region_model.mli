@@ -1,0 +1,54 @@
+(** Hot regions with precomputed path lengths.
+
+    The timing simulator never interprets instructions on the critical
+    path: for each region it precomputes, by interpretation, the dynamic
+    path length of the original code for every outcome vector of its [k]
+    branch sites (a [2^k] table), and lazily does the same for each
+    distilled version the dynamic optimizer produces.  Task timing then
+    reduces to table lookups; the tables are rebuilt only when the
+    speculation controller changes a decision — which is exactly when a
+    real system would re-optimize. *)
+
+type t
+
+val create : Rs_ir.Synth.t -> t
+
+val n_sites : t -> int
+val site_ids : t -> int array
+
+val original_length : t -> outcomes:int -> int
+(** Dynamic instructions of the original code when the sites take the
+    outcomes packed in the bit vector (bit [j] = site [j] taken). *)
+
+val original_branches : t -> outcomes:int -> (int * bool) array
+(** [(site, taken)] pairs actually executed on that path, in order. *)
+
+(** One distilled version of the region. *)
+module Version : sig
+  type v
+
+  val assumptions : v -> Rs_distill.Assumptions.t
+  val static_original : v -> int
+  val static_distilled : v -> int
+
+  val length : v -> outcomes:int -> int
+  (** Dynamic instructions of the distilled code under these outcomes.
+      Removed branches ignore the real outcome (they were deleted). *)
+
+  val violated : v -> outcomes:int -> bool
+  (** Whether any assumed site's outcome contradicts its assumption. *)
+
+  val violations : v -> outcomes:int -> int
+  (** How many assumed sites contradict their assumptions — the paper's
+      Section 4.3 observation is that several of these often fall inside
+      one task, costing a single task squash. *)
+
+  val branches_executed : v -> outcomes:int -> int
+  (** Branch instructions remaining on the distilled path. *)
+end
+
+val version : t -> Rs_distill.Assumptions.t -> Version.v
+(** Distill (or fetch from cache) the version for an assumption set. *)
+
+val recompilations : t -> int
+(** Distinct versions built so far (including the empty one). *)

@@ -1,0 +1,102 @@
+module Prng = Rs_util.Prng
+module B = Rs_behavior.Behavior
+
+type t = {
+  name : string;
+  n_regions : int;
+  sites_per_region : int;
+  changing_sites : int;
+  burst_sites : int;
+  unbiased_fraction : float;
+  tasks : int;
+}
+
+let mk name n_regions changing_sites burst_sites unbiased_fraction =
+  { name; n_regions; sites_per_region = 4; changing_sites; burst_sites;
+    unbiased_fraction; tasks = 200_000 }
+
+let all =
+  [
+    mk "bzip2" 20 2 1 0.25;
+    mk "crafty" 28 5 3 0.30;
+    mk "eon" 16 0 0 0.20;
+    mk "gap" 30 4 2 0.25;
+    mk "gcc" 40 0 1 0.20;
+    mk "gzip" 16 2 1 0.30;
+    mk "mcf" 14 3 1 0.30;
+    mk "parser" 26 4 3 0.35;
+    mk "perl" 30 0 1 0.20;
+    mk "twolf" 24 0 1 0.30;
+    mk "vortex" 48 3 1 0.15;
+    mk "vpr" 20 3 2 0.30;
+  ]
+
+let find name = List.find (fun t -> t.name = name) all
+
+type instance = {
+  spec : t;
+  regions : Region_model.t array;
+  region_weights : float array;
+  behaviors : B.t array;
+  n_sites : int;
+}
+
+let instantiate spec ~seed =
+  let rng = Prng.create ((seed * 69_069) + Hashtbl.hash spec.name) in
+  let regions =
+    Array.init spec.n_regions (fun r ->
+        Region_model.create
+          (Rs_ir.Synth.generate ~rng ~n_sites:spec.sites_per_region
+             ~first_site:(r * spec.sites_per_region) ()))
+  in
+  let region_weights =
+    Array.init spec.n_regions (fun r -> 1.0 /. ((float_of_int r +. 1.0) ** 0.9))
+  in
+  let n_sites = spec.n_regions * spec.sites_per_region in
+  let behaviors =
+    Array.init n_sites (fun _ ->
+        if Prng.float rng 1.0 < spec.unbiased_fraction then
+          B.Stationary (0.3 +. Prng.float rng 0.4)
+        else begin
+          let p = if Prng.float rng 1.0 < 0.6 then 1.0 else 0.9965 +. Prng.float rng 0.0034 in
+          B.Stationary (if Prng.bool rng then p else 1.0 -. p)
+        end)
+  in
+  (* Overwrite some sites with changing behaviours.  Changing sites live
+     in hot regions (low region index) so their effect is visible within
+     short runs. *)
+  (* changing sites live in warm (not the hottest) regions: visible in
+     short runs without drowning the open-loop configuration *)
+  let next_slot = ref spec.sites_per_region in
+  let take_slot () =
+    let s = !next_slot in
+    next_slot := s + 1;
+    s mod n_sites
+  in
+  for _ = 1 to spec.changing_sites do
+    let s = take_slot () in
+    let dir = Prng.bool rng in
+    let cp = 8_000 + Prng.int rng 20_000 in
+    let post = if Prng.float rng 1.0 < 0.6 then 0.02 else 0.75 in
+    let phases =
+      [| { B.length = cp; p_taken = 0.999 }; { B.length = 1; p_taken = post } |]
+    in
+    let phases =
+      if dir then phases else Array.map (fun p -> { p with B.p_taken = 1.0 -. p.B.p_taken }) phases
+    in
+    behaviors.(s) <- B.Phases phases
+  done;
+  for _ = 1 to spec.burst_sites do
+    let s = take_slot () in
+    let seg = 6_000 + Prng.int rng 6_000 in
+    behaviors.(s)
+      <- B.Phases
+           [|
+             { B.length = seg; p_taken = 0.9995 };
+             { B.length = 260; p_taken = 0.0 };
+             { B.length = seg; p_taken = 0.9995 };
+             { B.length = 260; p_taken = 0.0 };
+             { B.length = 1; p_taken = 0.9995 };
+           |]
+  done;
+  { spec; regions; region_weights; behaviors; n_sites }

@@ -1,0 +1,1 @@
+lib/sim/accounting.ml: Engine Float List Rs_core

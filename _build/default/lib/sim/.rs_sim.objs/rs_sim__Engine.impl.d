@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Logs Rs_behavior Rs_core Rs_util

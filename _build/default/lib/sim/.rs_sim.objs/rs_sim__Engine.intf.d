@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Rs_behavior Rs_core Rs_util

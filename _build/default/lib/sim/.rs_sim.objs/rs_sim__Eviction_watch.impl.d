@@ -1,0 +1,1 @@
+lib/sim/eviction_watch.ml: Array Engine List Rs_behavior Rs_core Rs_util

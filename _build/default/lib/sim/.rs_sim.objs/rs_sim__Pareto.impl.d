@@ -1,0 +1,1 @@
+lib/sim/pareto.ml: Array Profile Rs_core

@@ -1,0 +1,1 @@
+lib/sim/profile.ml: Array Rs_behavior Rs_core

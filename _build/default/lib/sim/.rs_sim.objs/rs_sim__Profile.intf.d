@@ -1,0 +1,1 @@
+lib/sim/profile.mli: Rs_behavior Rs_core

@@ -1,0 +1,1 @@
+lib/sim/static_eval.mli: Profile

@@ -1,0 +1,1 @@
+lib/sim/tracks.ml: Array Hashtbl List Rs_behavior

@@ -1,0 +1,1 @@
+lib/sim/tracks.mli: Rs_behavior

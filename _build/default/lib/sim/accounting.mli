@@ -1,0 +1,20 @@
+(** Table 3 style summaries of a reactive run. *)
+
+type row = {
+  touched : int;  (** Static branches that executed. *)
+  entered_biased : int;  (** Static branches selected at least once. *)
+  evicted : int;  (** Static branches evicted at least once. *)
+  total_evictions : int;
+  total_selections : int;
+  capped : int;  (** Branches retired by the oscillation limit. *)
+  correct_rate : float;  (** Fraction of dynamic branches speculated correctly. *)
+  incorrect_rate : float;
+  misspec_distance : float;  (** Mean instructions between misspeculations. *)
+}
+
+val of_result : Engine.result -> row
+
+val average : row list -> row
+(** Unweighted arithmetic mean of rates and distances; sums of counts are
+    replaced by their means (the paper's "ave" row averages rates and
+    per-benchmark eviction counts). *)

@@ -1,0 +1,60 @@
+module Reactive = Rs_core.Reactive
+module Types = Rs_core.Types
+
+let src = Logs.Src.create "rspec.engine" ~doc:"functional speculation simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  total_events : int;
+  total_instructions : int;
+  correct : int;
+  incorrect : int;
+  misspec_gap : Rs_util.Running_stats.t;
+  controller : Reactive.t;
+}
+
+let run ?observer ?on_transition pop config params =
+  let n = Rs_behavior.Population.size pop in
+  let controller = Reactive.create ?on_transition ~n_branches:n params in
+  let correct = ref 0 in
+  let incorrect = ref 0 in
+  let last_misspec = ref 0 in
+  let gaps = Rs_util.Running_stats.create () in
+  let score (ev : Rs_behavior.Stream.event) =
+    let d = Reactive.deployed controller ev.branch in
+    if d.Types.speculate then begin
+      if ev.taken = d.direction then incr correct
+      else begin
+        incr incorrect;
+        Rs_util.Running_stats.add gaps (float_of_int (ev.instr - !last_misspec));
+        last_misspec := ev.instr
+      end
+    end;
+    (match observer with Some f -> f ev d | None -> ());
+    Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
+  in
+  Log.debug (fun m ->
+      m "run: %d branches, %d events, ipb %.1f" n config.Rs_behavior.Stream.length
+        config.instr_per_branch);
+  Rs_behavior.Stream.iter pop config score;
+  Log.debug (fun m ->
+      m "done: correct %d (%.2f%%), incorrect %d (%.4f%%)" !correct
+        (100.0 *. float_of_int !correct /. float_of_int config.Rs_behavior.Stream.length)
+        !incorrect
+        (100.0 *. float_of_int !incorrect /. float_of_int config.Rs_behavior.Stream.length));
+  {
+    total_events = config.length;
+    total_instructions = Rs_behavior.Stream.total_instructions config;
+    correct = !correct;
+    incorrect = !incorrect;
+    misspec_gap = gaps;
+    controller;
+  }
+
+let correct_rate r = float_of_int r.correct /. float_of_int r.total_events
+let incorrect_rate r = float_of_int r.incorrect /. float_of_int r.total_events
+
+let misspec_distance r =
+  if r.incorrect = 0 then infinity
+  else float_of_int r.total_instructions /. float_of_int r.incorrect

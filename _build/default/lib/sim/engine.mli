@@ -1,0 +1,32 @@
+(** The functional simulator (Section 3.2's experimental vehicle).
+
+    Replays a stream against a reactive controller: each event is scored
+    against the decision the {e deployed} code embodies at that moment
+    (which lags the controller by the optimization latency), then handed
+    to the controller as an observation. *)
+
+type result = {
+  total_events : int;
+  total_instructions : int;
+  correct : int;  (** Correct speculations (eliminated branches). *)
+  incorrect : int;  (** Misspeculations. *)
+  misspec_gap : Rs_util.Running_stats.t;
+      (** Instruction distances between consecutive misspeculations. *)
+  controller : Rs_core.Reactive.t;  (** Post-run controller state. *)
+}
+
+val run :
+  ?observer:(Rs_behavior.Stream.event -> Rs_core.Types.decision -> unit) ->
+  ?on_transition:(Rs_core.Types.transition -> unit) ->
+  Rs_behavior.Population.t ->
+  Rs_behavior.Stream.config ->
+  Rs_core.Params.t ->
+  result
+(** Run to completion.  [observer] sees every event with the decision it
+    was scored against; [on_transition] fires at every controller
+    transition.  Both default to no-ops. *)
+
+val correct_rate : result -> float
+val incorrect_rate : result -> float
+val misspec_distance : result -> float
+(** Mean instructions between misspeculations ([infinity] if none). *)

@@ -1,0 +1,58 @@
+module Types = Rs_core.Types
+
+type t = {
+  samples : int;
+  histogram : Rs_util.Histogram.t;
+  fraction_below_30pct : float;
+  fraction_reversed : float;
+}
+
+type watch = { direction : bool; mutable seen : int; mutable in_dir : int }
+
+let run ?(horizon = 64) ?(per_static = false) pop config params =
+  let n = Rs_behavior.Population.size pop in
+  let watches : watch option array = Array.make n None in
+  let sampled = Array.make n false in
+  let finished = ref [] in
+  let finish w = finished := (float_of_int w.in_dir /. float_of_int w.seen) :: !finished in
+  let directions = Array.make n false in
+  let on_transition (tr : Types.transition) =
+    match tr.kind with
+    | Types.Evicted ->
+      if not (per_static && sampled.(tr.branch)) then begin
+        (* A back-to-back eviction before the previous watch completes
+           replaces it (possible only with tiny horizons). *)
+        (match watches.(tr.branch) with Some w when w.seen >= 16 -> finish w | _ -> ());
+        sampled.(tr.branch) <- true;
+        watches.(tr.branch) <- Some { direction = directions.(tr.branch); seen = 0; in_dir = 0 }
+      end
+    | Types.Selected -> ()
+    | _ -> ()
+  in
+  let observer (ev : Rs_behavior.Stream.event) (d : Types.decision) =
+    (* Track the direction the deployed code speculates so the watch knows
+       the pre-eviction direction even after the controller moved on. *)
+    if d.speculate then directions.(ev.branch) <- d.direction;
+    match watches.(ev.branch) with
+    | None -> ()
+    | Some w ->
+      if ev.taken = w.direction then w.in_dir <- w.in_dir + 1;
+      w.seen <- w.seen + 1;
+      if w.seen >= horizon then begin
+        finish w;
+        watches.(ev.branch) <- None
+      end
+  in
+  let _result = Engine.run ~observer ~on_transition pop config params in
+  Array.iter (function Some w when w.seen >= 16 -> finish w | _ -> ()) watches;
+  let histogram = Rs_util.Histogram.create ~bins:20 () in
+  List.iter (Rs_util.Histogram.add histogram) !finished;
+  let samples = List.length !finished in
+  let count p = List.length (List.filter p !finished) in
+  let frac p = if samples = 0 then 0.0 else float_of_int (count p) /. float_of_int samples in
+  {
+    samples;
+    histogram;
+    fraction_below_30pct = frac (fun f -> f < 0.30);
+    fraction_reversed = frac (fun f -> f < 0.05);
+  }

@@ -1,0 +1,47 @@
+module Static = Rs_core.Static
+
+type point = { correct : int; incorrect : int; bias : float }
+
+let branch_stats profile =
+  let n = Profile.n_branches profile in
+  let stats = ref [] in
+  for b = n - 1 downto 0 do
+    let c = Profile.counts profile b in
+    if c.Static.execs > 0 then begin
+      let majority = max c.taken (c.execs - c.taken) in
+      stats := (Static.bias c, majority, c.execs - majority) :: !stats
+    end
+  done;
+  let arr = Array.of_list !stats in
+  (* Decreasing bias = increasing marginal misspeculation cost. *)
+  Array.sort (fun (b1, _, _) (b2, _, _) -> compare b2 b1) arr;
+  arr
+
+let curve profile =
+  let arr = branch_stats profile in
+  let correct = ref 0 in
+  let incorrect = ref 0 in
+  Array.map
+    (fun (bias, maj, mino) ->
+      correct := !correct + maj;
+      incorrect := !incorrect + mino;
+      { correct = !correct; incorrect = !incorrect; bias })
+    arr
+
+let at_threshold profile ~threshold =
+  let arr = branch_stats profile in
+  let correct = ref 0 in
+  let incorrect = ref 0 in
+  Array.iter
+    (fun (bias, maj, mino) ->
+      if bias >= threshold then begin
+        correct := !correct + maj;
+        incorrect := !incorrect + mino
+      end)
+    arr;
+  { correct = !correct; incorrect = !incorrect; bias = threshold }
+
+let correct_rate profile p = float_of_int p.correct /. float_of_int (Profile.total_events profile)
+
+let incorrect_rate profile p =
+  float_of_int p.incorrect /. float_of_int (Profile.total_events profile)

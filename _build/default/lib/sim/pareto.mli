@@ -1,0 +1,27 @@
+(** The self-training Pareto frontier (Figure 2's solid line).
+
+    With perfect knowledge of whole-run behaviour, the optimal speculation
+    set for any misspeculation budget is obtained by admitting branches in
+    decreasing order of bias.  Each curve point is the cumulative
+    (correct, incorrect) speculation count after admitting one more
+    branch. *)
+
+type point = {
+  correct : int;  (** Cumulative correct speculations. *)
+  incorrect : int;  (** Cumulative misspeculations. *)
+  bias : float;  (** Bias of the branch admitted at this point. *)
+}
+
+val curve : Profile.t -> point array
+(** Points ordered from the most-biased branch (origin side) outwards.
+    Untouched branches are excluded. *)
+
+val at_threshold : Profile.t -> threshold:float -> point
+(** Cumulative counts from speculating on every branch whose whole-run
+    bias reaches [threshold] — the paper's circles at 99 %. *)
+
+val correct_rate : Profile.t -> point -> float
+(** Correct speculations as a fraction of all dynamic branches. *)
+
+val incorrect_rate : Profile.t -> point -> float
+(** Misspeculations as a fraction of all dynamic branches. *)

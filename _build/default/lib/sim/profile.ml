@@ -1,0 +1,77 @@
+module Static = Rs_core.Static
+
+type t = {
+  execs : int array;
+  taken : int array;
+  (* window_taken.(w).(b): taken count of branch [b] after its first
+     [windows.(w)] executions (or at end of run if it never got that
+     far). *)
+  window_taken : int array array;
+  windows : int array;
+  total_events : int;
+  total_instructions : int;
+}
+
+let window_index t window =
+  let n = Array.length t.windows in
+  let rec go i =
+    if i >= n then invalid_arg "Profile: unknown window length"
+    else if t.windows.(i) = window then i
+    else go (i + 1)
+  in
+  go 0
+
+let collect ?(windows = Static.windows) pop config =
+  Array.iteri
+    (fun i w ->
+      if w <= 0 || (i > 0 && w <= windows.(i - 1)) then
+        invalid_arg "Profile.collect: windows must be positive and strictly increasing")
+    windows;
+  let n_windows = Array.length windows in
+  let n = Rs_behavior.Population.size pop in
+  let execs = Array.make n 0 in
+  let taken = Array.make n 0 in
+  let window_taken = Array.init n_windows (fun _ -> Array.make n (-1)) in
+  let next_window = Array.make n 0 in
+  Rs_behavior.Stream.iter pop config (fun ev ->
+      let b = ev.branch in
+      if ev.taken then taken.(b) <- taken.(b) + 1;
+      execs.(b) <- execs.(b) + 1;
+      let w = next_window.(b) in
+      if w < n_windows && execs.(b) = windows.(w) then begin
+        window_taken.(w).(b) <- taken.(b);
+        next_window.(b) <- w + 1
+      end);
+  (* Branches that never reached a checkpoint: the "window" is their whole
+     life, so a window-trained policy sees exactly their full counts. *)
+  for b = 0 to n - 1 do
+    for w = next_window.(b) to n_windows - 1 do
+      window_taken.(w).(b) <- taken.(b)
+    done
+  done;
+  {
+    execs;
+    taken;
+    window_taken;
+    windows;
+    total_events = config.length;
+    total_instructions = Rs_behavior.Stream.total_instructions config;
+  }
+
+let windows t = t.windows
+let n_branches t = Array.length t.execs
+let total_events t = t.total_events
+let total_instructions t = t.total_instructions
+
+let counts t b = { Static.execs = t.execs.(b); taken = t.taken.(b) }
+
+let counts_in_window t b ~window =
+  let w = window_index t window in
+  let execs = min t.execs.(b) window in
+  { Static.execs; taken = (if execs = 0 then 0 else t.window_taken.(w).(b)) }
+
+let counts_after_window t b ~window =
+  let w = window_index t window in
+  let in_execs = min t.execs.(b) window in
+  let in_taken = if in_execs = 0 then 0 else t.window_taken.(w).(b) in
+  { Static.execs = t.execs.(b) - in_execs; taken = t.taken.(b) - in_taken }

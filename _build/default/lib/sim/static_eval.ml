@@ -1,0 +1,35 @@
+module Static = Rs_core.Static
+
+type outcome = { correct : int; incorrect : int }
+
+let accumulate n decide score_counts =
+  let correct = ref 0 in
+  let incorrect = ref 0 in
+  for b = 0 to n - 1 do
+    let d = decide b in
+    let c, i = Static.score d (score_counts b) in
+    correct := !correct + c;
+    incorrect := !incorrect + i
+  done;
+  { correct = !correct; incorrect = !incorrect }
+
+let self_training profile ~threshold =
+  accumulate (Profile.n_branches profile)
+    (fun b -> Static.select ~threshold (Profile.counts profile b))
+    (fun b -> Profile.counts profile b)
+
+let offline ~train ~eval ~threshold =
+  if Profile.n_branches train <> Profile.n_branches eval then
+    invalid_arg "Static_eval.offline: profiles describe different populations";
+  accumulate (Profile.n_branches eval)
+    (fun b -> Static.select ~threshold (Profile.counts train b))
+    (fun b -> Profile.counts eval b)
+
+let initial_window profile ~window ~threshold =
+  accumulate (Profile.n_branches profile)
+    (fun b -> Static.select ~threshold (Profile.counts_in_window profile b ~window))
+    (fun b -> Profile.counts_after_window profile b ~window)
+
+let rate profile o =
+  let total = float_of_int (Profile.total_events profile) in
+  (float_of_int o.correct /. total, float_of_int o.incorrect /. total)

@@ -1,0 +1,28 @@
+(** Evaluation of the static (decide-once) policies of Section 2.2.
+
+    Each policy produces a per-branch decision from some profile and is
+    scored against the evaluation run.  Results are raw (correct,
+    incorrect) speculation totals; divide by
+    {!Profile.total_events} of the evaluation profile for rates. *)
+
+type outcome = { correct : int; incorrect : int }
+
+val self_training : Profile.t -> threshold:float -> outcome
+(** Train and evaluate on the same run — the paper's optimistic
+    reference. *)
+
+val offline : train:Profile.t -> eval:Profile.t -> threshold:float -> outcome
+(** Select branches from the [train] input's whole-run profile and score
+    them against the [eval] run (Figure 2 triangles).  The two profiles
+    must describe populations of the same size.
+    @raise Invalid_argument on a size mismatch. *)
+
+val initial_window : Profile.t -> window:int -> threshold:float -> outcome
+(** Select branches whose bias over their first [window] executions
+    reaches [threshold]; speculation applies to the executions after the
+    window (Figure 2 crosses).  [window] must be one of
+    {!Rs_core.Static.windows}. *)
+
+val rate : Profile.t -> outcome -> float * float
+(** [(correct_rate, incorrect_rate)] as fractions of the evaluation run's
+    dynamic branches. *)

@@ -1,0 +1,106 @@
+module Exec_blocks = struct
+  type t = { block : int; series : (int, (int * float) list ref) Hashtbl.t }
+
+  type acc = { mutable seen : int; mutable taken : int; mutable blocks : (int * float) list }
+
+  let collect pop config ~branches ~block =
+    if block <= 0 then invalid_arg "Exec_blocks.collect: block must be positive";
+    let accs = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace accs b { seen = 0; taken = 0; blocks = [] }) branches;
+    Rs_behavior.Stream.iter pop config (fun ev ->
+        match Hashtbl.find_opt accs ev.branch with
+        | None -> ()
+        | Some a ->
+          if ev.taken then a.taken <- a.taken + 1;
+          a.seen <- a.seen + 1;
+          if a.seen = block then begin
+            let idx = List.length a.blocks in
+            a.blocks <- (idx, float_of_int a.taken /. float_of_int block) :: a.blocks;
+            a.seen <- 0;
+            a.taken <- 0
+          end);
+    let series = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun b (a : acc) ->
+        let blocks =
+          if a.seen >= block / 10 then
+            (List.length a.blocks, float_of_int a.taken /. float_of_int a.seen) :: a.blocks
+          else a.blocks
+        in
+        Hashtbl.replace series b (ref (List.rev blocks)))
+      accs;
+    { block; series }
+
+  let series t b = !(Hashtbl.find t.series b)
+end
+
+module Intervals = struct
+  type t = {
+    buckets : int;
+    min_execs : int;
+    execs : int array array;  (** [execs.(bucket).(branch)] *)
+    taken : int array array;
+  }
+
+  let collect pop config ~buckets ~min_execs =
+    if buckets <= 0 then invalid_arg "Intervals.collect: buckets must be positive";
+    let n = Rs_behavior.Population.size pop in
+    let total_instr = Rs_behavior.Stream.total_instructions config in
+    let width = max 1 (total_instr / buckets) in
+    let execs = Array.init buckets (fun _ -> Array.make n 0) in
+    let taken = Array.init buckets (fun _ -> Array.make n 0) in
+    Rs_behavior.Stream.iter pop config (fun ev ->
+        let k = min (buckets - 1) (ev.instr / width) in
+        execs.(k).(ev.branch) <- execs.(k).(ev.branch) + 1;
+        if ev.taken then taken.(k).(ev.branch) <- taken.(k).(ev.branch) + 1);
+    { buckets; min_execs; execs; taken }
+
+  let n_buckets t = t.buckets
+
+  (* Classification of one branch in one bucket: [Some true] = biased,
+     [Some false] = unbiased, [None] = too few executions to tell. *)
+  let classify t ~threshold branch bucket =
+    let e = t.execs.(bucket).(branch) in
+    if e < t.min_execs then None
+    else begin
+      let tk = t.taken.(bucket).(branch) in
+      let bias = float_of_int (max tk (e - tk)) /. float_of_int e in
+      Some (bias >= threshold)
+    end
+
+  let flippers t ~threshold =
+    let n = Array.length t.execs.(0) in
+    let result = ref [] in
+    for b = n - 1 downto 0 do
+      (* Fill sparse buckets with the previous known classification. *)
+      let states = Array.make t.buckets false in
+      let any_biased = ref false in
+      let any_unbiased = ref false in
+      let prev = ref false in
+      let known = ref false in
+      for k = 0 to t.buckets - 1 do
+        (match classify t ~threshold b k with
+        | Some biased ->
+          prev := biased;
+          known := true;
+          if biased then any_biased := true else any_unbiased := true
+        | None -> ());
+        states.(k) <- !known && !prev
+      done;
+      if !any_biased && !any_unbiased then begin
+        (* Extract maximal biased spans. *)
+        let spans = ref [] in
+        let start = ref (-1) in
+        for k = 0 to t.buckets - 1 do
+          if states.(k) && !start < 0 then start := k;
+          if (not states.(k)) && !start >= 0 then begin
+            spans := (!start, k - 1) :: !spans;
+            start := -1
+          end
+        done;
+        if !start >= 0 then spans := (!start, t.buckets - 1) :: !spans;
+        result := (b, List.rev !spans) :: !result
+      end
+    done;
+    !result
+end

@@ -1,0 +1,17 @@
+(** Minimal CSV emission for experiment series.
+
+    Each figure reproduction can dump its raw series next to the rendered
+    text so downstream plotting is trivial. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val render : t -> string
+(** RFC-4180-style quoting of fields containing commas, quotes or
+    newlines. *)
+
+val save : t -> string -> unit
+(** [save t path] writes [render t] to [path]. *)

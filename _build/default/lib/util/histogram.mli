@@ -1,0 +1,36 @@
+(** Fixed-bin histograms over a float range.
+
+    Used for Figure 6 (distribution of post-eviction biases) and for
+    misspeculation-distance distributions. *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> bins:int -> unit -> t
+(** [create ~bins ()] covers [\[lo, hi)] (defaults 0..1) with [bins] equal
+    bins.  Values outside the range are clamped into the end bins.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+val add_many : t -> float -> int -> unit
+(** [add_many t x k] records [x] with multiplicity [k]. *)
+
+val count : t -> int
+(** Total observations. *)
+
+val bin_count : t -> int -> int
+(** Observations in bin [i].  @raise Invalid_argument when out of range. *)
+
+val bin_bounds : t -> int -> float * float
+(** Lower/upper edge of bin [i]. *)
+
+val bins : t -> int
+val fraction_below : t -> float -> float
+(** [fraction_below t x] estimates the CDF at [x] from bin counts (whole
+    bins strictly below [x] plus a linear share of the straddling bin). *)
+
+val to_list : t -> ((float * float) * int) list
+(** All bins with their bounds and counts, in order. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] (with [p] in [\[0,1\]]) estimates the p-th quantile by
+    linear interpolation within the containing bin; 0 when empty. *)

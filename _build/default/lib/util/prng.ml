@@ -1,0 +1,114 @@
+(* xorshift64* on OCaml's native 63-bit integers.
+
+   The generator state and all arithmetic stay in immediate (unboxed)
+   ints: the whole library draws hundreds of millions of samples per run,
+   and a boxed Int64 implementation costs an allocation per draw.  The
+   63-bit variant passes the statistical needs here (uniform draws,
+   Bernoulli thinning, Zipf inversion); streams are split by re-seeding a
+   child from the parent's output through a splitmix-style scramble. *)
+
+type t = { mutable s : int }
+
+let mult = 0x2545F4914F6CDD1D (* xorshift* multiplier, fits in 62 bits *)
+
+(* splitmix-style scramble used for seeding: decorrelates consecutive
+   seeds and guarantees a non-zero state *)
+let scramble z =
+  let z = (z lxor (z lsr 30)) * 0x16A3B36A82D1C1B5 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  let z = z lxor (z lsr 31) in
+  if z = 0 then 0x9E3779B97F4A7C1 else z
+
+let create seed = { s = scramble (seed + 0x1F123BB5159A55E5) }
+
+let copy t = { s = t.s }
+
+let next t =
+  let s = t.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  let s = if s = 0 then 0x9E3779B97F4A7C1 else s in
+  t.s <- s;
+  s * mult
+
+let bits62 t = next t land max_int
+
+let bits64 t = Int64.of_int (next t)
+
+let split t = { s = scramble (next t + 0x61C8864680B583EB) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* rejection sampling removes the modulo bias *)
+  let rec go () =
+    let r = bits62 t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let float t bound =
+  (* 53 random bits mapped to [0,1) *)
+  let r = bits62 t lsr 9 in
+  float_of_int r /. 9007199254740992.0 *. bound
+
+let bool t = next t land 1 <> 0
+
+let bernoulli t p =
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else float t 1.0 < p
+
+let geometric t p =
+  if p <= 0.0 then invalid_arg "Prng.geometric: p must be positive";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    (* inversion: floor (log (1-u) / log (1-p)) *)
+    int_of_float (floor (log (1.0 -. u) /. log (1.0 -. p)))
+
+let exponential t mean =
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
+(* Rejection-inversion sampling for the Zipf distribution
+   (Hörmann & Derflinger, 1996): O(1) per sample, no tables. *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if n = 1 then 1
+  else if abs_float (s -. 1.0) < 1e-9 then begin
+    (* s = 1: inverse-CDF via harmonic approximation over log space *)
+    let hn = log (float_of_int n) +. 0.5772156649015329 in
+    let rec go () =
+      let u = float t 1.0 *. hn in
+      let k = int_of_float (exp u) in
+      if k >= 1 && k <= n then k else go ()
+    in
+    go ()
+  end
+  else begin
+    let h x = exp ((1.0 -. s) *. log (1.0 +. x)) /. (1.0 -. s) in
+    let h_inv x = exp (log ((1.0 -. s) *. x) /. (1.0 -. s)) -. 1.0 in
+    let hx0 = h 0.5 -. exp (-.s *. log 1.0) in
+    let hn = h (float_of_int n +. 0.5) in
+    let rec go () =
+      let u = hn +. (float t 1.0 *. (hx0 -. hn)) in
+      let x = h_inv u in
+      let k = int_of_float (floor (x +. 1.5)) in
+      let k = if k < 1 then 1 else if k > n then n else k in
+      if float_of_int k -. x <= hx0
+         || u >= h (float_of_int k +. 0.5) -. exp (-.s *. log (float_of_int k))
+      then k
+      else go ()
+    in
+    go ()
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the library flows through this module so
+    that every experiment is reproducible from a single root seed.  The
+    generator is xoshiro256** seeded through SplitMix64, following the
+    reference implementations by Blackman and Vigna.  Generators are
+    splittable: [split t] derives an independent child stream, which lets
+    each static branch own a private stream regardless of interleaving. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a root seed.  Equal seeds yield
+    equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a child generator whose stream is
+    statistically independent of the parent's subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw output as an int64 (63 significant bits). *)
+
+val bits62 : t -> int
+(** Next raw output masked to a non-negative native int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val geometric : t -> float -> int
+(** [geometric t p] samples the number of failures before the first success
+    of a Bernoulli(p) process; returns 0 when [p >= 1.0].
+    @raise Invalid_argument if [p <= 0.]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential with the given mean. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples ranks in [\[1, n\]] with probability proportional
+    to [1 / rank**s], by inversion over a precomputed table-free scheme
+    (rejection-inversion of Hörmann and Derflinger). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

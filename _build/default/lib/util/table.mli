@@ -1,0 +1,33 @@
+(** ASCII table rendering for experiment output.
+
+    The bench harness prints the paper's tables with these helpers so that
+    every reproduction has a uniform, diffable text form. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with a title row and typed column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator (e.g. before an averages row). *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper (default 2 decimals). *)
+
+val fmt_pct : ?decimals:int -> float -> string
+(** [fmt_pct x] renders the fraction [x] as a percentage string. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer. *)

@@ -1,0 +1,1 @@
+lib/workload/benchmark.ml: Array Float Hashtbl List Rs_behavior Rs_util

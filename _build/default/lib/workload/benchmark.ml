@@ -1,0 +1,527 @@
+module Prng = Rs_util.Prng
+module Behavior = Rs_behavior.Behavior
+module Population = Rs_behavior.Population
+module Stream = Rs_behavior.Stream
+
+type input = Ref | Train
+
+type mix = {
+  strong : int;
+  single_change : int;
+  burst2 : int;
+  burst3 : int;
+  burst4 : int;
+  oscillator : int;
+  heavy_periodic : int;
+  late_bias : int;
+  input_dep : int;
+  groups : int * int;
+}
+
+type t = {
+  name : string;
+  touch : int;
+  mix : mix;
+  instr_per_branch : float;
+  spec_share : float;
+  minority : float;
+  coverage_gap : float;
+  change_window : int * int;
+  flip_quirk : int option;
+  paper : paper_row;
+}
+
+and paper_row = {
+  p_touch : int;
+  p_bias : int;
+  p_evict : int;
+  p_total_evicts : int;
+  p_spec_pct : float;
+  p_misspec_dist : int;
+}
+
+(* Tuning constants shared by all benchmarks.  Execution budgets are per
+   static branch and never scale with the population: the fast controller
+   dynamics (10k monitor period, 10k eviction threshold) are expressed in
+   executions, so shrinking a run must shrink the population, not the
+   per-branch counts.  Slow behaviours (periodic regions, late-bias
+   onsets, the induction flip) are expressed in paper time and divided by
+   the time-compression factor [tau]. *)
+let default_tau = 10
+let floor_strong = 28_000
+let monitor_cost = 11_000 (* executions a selected branch spends unspeculated *)
+let edge_fraction = 0.03
+let edge_budget = 18_000
+let background_budget = 1_200
+let cold_budget = 300
+let single_post_budget = 25_000
+let burst_segment = 30_000
+let burst_len = 230
+let periodic_region tau = 1_250_000 / tau
+let periodic_budget tau = (4 * periodic_region tau) + 60_000
+let late_phase1 tau = 950_000 / tau
+let late_budget tau = late_phase1 tau + (1_650_000 / tau)
+let input_dep_budget = 25_000
+let flip_quirk_post tau = 4_000_000 / tau
+let heavy_dilution = 2 (* background pad keeps heavies <= 1/dilution of a run *)
+
+let mk name touch mix instr_per_branch spec_share minority coverage_gap change_window flip_quirk
+    paper =
+  {
+    name;
+    touch;
+    mix;
+    instr_per_branch;
+    spec_share;
+    minority;
+    coverage_gap;
+    change_window;
+    flip_quirk;
+    paper;
+  }
+
+let no_groups = (0, 0)
+
+let all =
+  [
+    mk "bzip2" 282
+      { strong = 99; single_change = 2; burst2 = 2; burst3 = 0; burst4 = 2; oscillator = 0;
+        heavy_periodic = 0; late_bias = 8; input_dep = 2; groups = no_groups }
+      6.5 0.441 5.6e-4 0.60 (280_000, 600_000) None
+      { p_touch = 282; p_bias = 109; p_evict = 6; p_total_evicts = 15; p_spec_pct = 44.1;
+        p_misspec_dist = 26_400 };
+    mk "crafty" 1124
+      { strong = 225; single_change = 25; burst2 = 75; burst3 = 18; burst4 = 0; oscillator = 10;
+        heavy_periodic = 0; late_bias = 12; input_dep = 30; groups = no_groups }
+      7.0 0.251 2.5e-4 0.70 (25_000, 50_000) None
+      { p_touch = 1124; p_bias = 396; p_evict = 138; p_total_evicts = 276; p_spec_pct = 25.1;
+        p_misspec_dist = 109_366 };
+    mk "eon" 403
+      { strong = 89; single_change = 3; burst2 = 0; burst3 = 0; burst4 = 0; oscillator = 0;
+        heavy_periodic = 0; late_bias = 8; input_dep = 1; groups = no_groups }
+      6.0 0.383 1.5e-4 0.55 (25_000, 50_000) None
+      { p_touch = 403; p_bias = 95; p_evict = 3; p_total_evicts = 3; p_spec_pct = 38.3;
+        p_misspec_dist = 105_552 };
+    mk "gap" 3011
+      { strong = 871; single_change = 134; burst2 = 22; burst3 = 3; burst4 = 0; oscillator = 4;
+        heavy_periodic = 0; late_bias = 12; input_dep = 4; groups = no_groups }
+      6.0 0.525 3.1e-4 0.60 (20_000, 60_000) None
+      { p_touch = 3011; p_bias = 1045; p_evict = 167; p_total_evicts = 201; p_spec_pct = 52.5;
+        p_misspec_dist = 36_728 };
+    mk "gcc" 7943
+      { strong = 2028; single_change = 10; burst2 = 1; burst3 = 0; burst4 = 0; oscillator = 0;
+        heavy_periodic = 0; late_bias = 16; input_dep = 25; groups = no_groups }
+      5.5 0.663 4.0e-4 0.80 (25_000, 50_000) None
+      { p_touch = 7943; p_bias = 2068; p_evict = 11; p_total_evicts = 12; p_spec_pct = 66.3;
+        p_misspec_dist = 20_802 };
+    mk "gzip" 314
+      { strong = 55; single_change = 4; burst2 = 1; burst3 = 0; burst4 = 0; oscillator = 0;
+        heavy_periodic = 2; late_bias = 4; input_dep = 2; groups = no_groups }
+      6.5 0.354 4.3e-4 0.60 (250_000, 500_000) None
+      { p_touch = 314; p_bias = 66; p_evict = 7; p_total_evicts = 12; p_spec_pct = 35.4;
+        p_misspec_dist = 43_043 };
+    mk "mcf" 366
+      { strong = 184; single_change = 8; burst2 = 6; burst3 = 4; burst4 = 0; oscillator = 0;
+        heavy_periodic = 3; late_bias = 4; input_dep = 2; groups = no_groups }
+      6.0 0.336 8.0e-4 0.55 (25_000, 50_000) (Some 2_200_000)
+      { p_touch = 366; p_bias = 210; p_evict = 22; p_total_evicts = 47; p_spec_pct = 33.6;
+        p_misspec_dist = 12_896 };
+    mk "parser" 1552
+      { strong = 209; single_change = 15; burst2 = 14; burst3 = 12; burst4 = 6; oscillator = 6;
+        heavy_periodic = 0; late_bias = 8; input_dep = 20; groups = no_groups }
+      6.5 0.263 4.9e-4 0.65 (25_000, 60_000) None
+      { p_touch = 1552; p_bias = 284; p_evict = 53; p_total_evicts = 124; p_spec_pct = 26.3;
+        p_misspec_dist = 50_643 };
+    mk "perl" 1968
+      { strong = 984; single_change = 50; burst2 = 4; burst3 = 0; burst4 = 0; oscillator = 2;
+        heavy_periodic = 0; late_bias = 12; input_dep = 30; groups = no_groups }
+      6.0 0.634 1.7e-4 0.70 (25_000, 50_000) None
+      { p_touch = 1968; p_bias = 1075; p_evict = 58; p_total_evicts = 64; p_spec_pct = 63.4;
+        p_misspec_dist = 55_382 };
+    mk "twolf" 1542
+      { strong = 416; single_change = 16; burst2 = 3; burst3 = 0; burst4 = 0; oscillator = 0;
+        heavy_periodic = 0; late_bias = 8; input_dep = 3; groups = no_groups }
+      7.0 0.321 1.3e-4 0.60 (25_000, 50_000) None
+      { p_touch = 1542; p_bias = 440; p_evict = 19; p_total_evicts = 22; p_spec_pct = 32.1;
+        p_misspec_dist = 165_711 };
+    mk "vortex" 3484
+      { strong = 1598; single_change = 15; burst2 = 6; burst3 = 6; burst4 = 0; oscillator = 0;
+        heavy_periodic = 0; late_bias = 12; input_dep = 3; groups = (12, 12) }
+      6.0 0.840 7.4e-5 0.60 (25_000, 50_000) None
+      { p_touch = 3484; p_bias = 1671; p_evict = 67; p_total_evicts = 104; p_spec_pct = 88.5;
+        p_misspec_dist = 92_163 };
+    mk "vpr" 758
+      { strong = 310; single_change = 8; burst2 = 1; burst3 = 3; burst4 = 2; oscillator = 2;
+        heavy_periodic = 0; late_bias = 8; input_dep = 12; groups = no_groups }
+      6.5 0.316 3.2e-4 0.65 (25_000, 50_000) None
+      { p_touch = 758; p_bias = 340; p_evict = 16; p_total_evicts = 38; p_spec_pct = 31.6;
+        p_misspec_dist = 65_588 };
+  ]
+
+let names = List.map (fun t -> t.name) all
+
+let find name = List.find (fun t -> t.name = name) all
+
+let scale_count scale n = if n = 0 then 0 else max 1 (int_of_float (Float.round (float_of_int n *. scale)))
+(* A proto-branch carries its execution budget, an analytic estimate of
+   the correct speculations it will contribute under the baseline
+   reactive model (used by the budget solver below), whether it is a
+   "heavy" slow-behaviour branch, and a deferred behaviour constructor
+   (global phases need the final instruction count). *)
+type cls = Strong | Edge | Background | Other
+
+type proto = {
+  budget : int;
+  corrects_est : float;
+  cls : cls;
+  heavy : bool;
+  make : total_instr:int -> Behavior.t;
+}
+
+let flip_phases dir phases =
+  if dir then phases
+  else Array.map (fun (p : Behavior.phase) -> { p with p_taken = 1.0 -. p.p_taken }) phases
+
+let stationary dir p = Behavior.Stationary (if dir then p else 1.0 -. p)
+
+let scaled_mix scale mix =
+  let s = scale_count scale in
+  {
+    strong = s mix.strong;
+    single_change = s mix.single_change;
+    burst2 = s mix.burst2;
+    burst3 = s mix.burst3;
+    burst4 = s mix.burst4;
+    oscillator = s mix.oscillator;
+    heavy_periodic = s mix.heavy_periodic;
+    late_bias = s mix.late_bias;
+    input_dep = s mix.input_dep;
+    groups = (s (fst mix.groups), snd mix.groups);
+  }
+
+let biased_class_size t ~scale =
+  let m = scaled_mix scale t.mix in
+  let group_hot = fst m.groups * 3 in
+  m.strong + m.single_change + m.burst2 + m.burst3 + m.burst4 + m.oscillator + m.heavy_periodic
+  + m.late_bias + m.input_dep + group_hot
+  + (match t.flip_quirk with Some _ -> 1 | None -> 0)
+
+(* Strong-class taken probabilities: most highly-biased branches in real
+   programs are error checks and loop back-edges that essentially never
+   go the other way; a thinner tail sits just above the selection
+   threshold.  The mixture is tuned so the aggregate minority fraction of
+   the selected set lands near the paper's ~0.02% misspeculation rate. *)
+let strong_p rng ~minority =
+  if Prng.float rng 1.0 < 0.5 then 1.0
+  else begin
+    (* Mean minority fraction of the class is [minority]; the support is
+       kept above the selection threshold so the class stays selectable. *)
+    let p = 1.0 -. (4.0 *. minority *. Prng.float rng 1.0) in
+    Float.max p 0.9962
+  end
+
+let build t ~input ~seed ~scale ~tau =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Benchmark.build: scale must be in (0, 1]";
+  if tau <= 0 then invalid_arg "Benchmark.build: tau must be positive";
+  let rng = Prng.create ((seed * 1_000_003) + Hashtbl.hash t.name) in
+  let m = scaled_mix scale t.mix in
+  let touch = scale_count scale t.touch in
+  let protos = ref [] in
+  let push p = protos := p :: !protos in
+  (* --- changing branches ------------------------------------------------ *)
+  let compress_window w = if w > 100_000 then w / tau else w in
+  let cw_lo = compress_window (fst t.change_window) in
+  let cw_hi = compress_window (snd t.change_window) in
+  for _ = 1 to m.single_change do
+    let dir = Prng.bool rng in
+    let cp = cw_lo + Prng.int rng (max 1 (cw_hi - cw_lo)) in
+    let budget = cp + single_post_budget in
+    let corrects_est = float_of_int (max 0 (cp - 11_000)) in
+    let r = Prng.float rng 1.0 in
+    let make ~total_instr:_ =
+      if r < 0.10 then Behavior.Flip_at { threshold = cp; first = dir }
+      else begin
+        let post =
+          if r < 0.22 then 0.005 (* perfect reversal *)
+          else if r < 0.72 then 0.08 +. (r *. 0.25) (* partial reversal *)
+          else 0.62 +. ((r -. 0.72) *. 1.1) (* softening, <= 0.93 *)
+        in
+        Behavior.Phases
+          (flip_phases dir [| { length = cp; p_taken = 0.999 }; { length = 1; p_taken = post } |])
+      end
+    in
+    push { budget; corrects_est; cls = Other; heavy = false; make }
+  done;
+  let bursts n_branches n_bursts =
+    for _ = 1 to n_branches do
+      let dir = Prng.bool rng in
+      let seg = burst_segment + Prng.int rng 6_000 in
+      (* burst length relative to the 200-misspeculation eviction point
+         decides where the branch lands in Figure 6's transition
+         histogram: a 230-burst recovers mid-window, a 254-burst keeps
+         misspeculating through most of it *)
+      let blen = if Prng.bool rng then burst_len else burst_len + 24 in
+      let phases = ref [] in
+      for _ = 1 to n_bursts do
+        phases := { Behavior.length = blen; p_taken = 0.0 }
+                  :: { Behavior.length = seg; p_taken = 0.9995 } :: !phases
+      done;
+      phases := { Behavior.length = 1; p_taken = 0.9995 } :: !phases;
+      let phases = flip_phases dir (Array.of_list (List.rev !phases)) in
+      let budget = ((seg + burst_len) * n_bursts) + seg in
+      push
+        {
+          budget;
+          corrects_est = float_of_int ((n_bursts + 1) * (seg - 10_700));
+          cls = Other;
+          heavy = false;
+          make = (fun ~total_instr:_ -> Behavior.Phases phases);
+        }
+    done
+  in
+  bursts m.burst2 2;
+  bursts m.burst3 3;
+  bursts m.burst4 4;
+  (* Oscillators: perfectly biased in alternating directions, region by
+     region.  After each reversal the monitor sees a clean 99.9+% bias in
+     the {e new} direction and re-selects, so without the oscillation
+     limit these branches would bounce in and out of the biased state for
+     their whole lives (the paper's ~50 pathological branches). *)
+  for _ = 1 to m.oscillator do
+    let dir = Prng.bool rng in
+    let region = 15_000 + Prng.int rng 3_000 in
+    let p_first = if dir then 0.9995 else 0.0005 in
+    let p_second = 1.0 -. p_first in
+    push
+      {
+        budget = 110_000;
+        corrects_est = 22_000.0;
+        cls = Other;
+        heavy = false;
+        make = (fun ~total_instr:_ -> Behavior.Periodic { region; p_first; p_second });
+      }
+  done;
+  for _ = 1 to m.heavy_periodic do
+    let dir = Prng.bool rng in
+    let p_first = if dir then 0.9992 else 1.0 -. 0.9992 in
+    let p_second = if dir then 0.45 else 1.0 -. 0.45 in
+    let budget = periodic_budget tau in
+    push
+      {
+        budget;
+        corrects_est = 0.25 *. float_of_int budget;
+        cls = Other;
+        heavy = true;
+        make = (fun ~total_instr:_ ->
+          Behavior.Periodic { region = periodic_region tau; p_first; p_second });
+      }
+  done;
+  for _ = 1 to m.late_bias do
+    let dir = Prng.bool rng in
+    let phase1 = late_phase1 tau in
+    let budget = late_budget tau in
+    push
+      {
+        budget;
+        corrects_est = float_of_int (budget - (1_000_000 / tau) - 22_000);
+        cls = Other;
+        heavy = true;
+        make = (fun ~total_instr:_ ->
+          Behavior.Phases
+            (flip_phases dir
+               [| { length = phase1; p_taken = 0.52 }; { length = 1; p_taken = 0.999 } |]));
+      }
+  done;
+  (match t.flip_quirk with
+  | None -> ()
+  | Some threshold ->
+    let threshold = threshold / tau in
+    let budget = threshold + flip_quirk_post tau in
+    push
+      {
+        budget;
+        corrects_est = float_of_int (budget - 23_000);
+        cls = Other;
+        heavy = true;
+        make = (fun ~total_instr:_ -> Behavior.Flip_at { threshold; first = true });
+      });
+  (* --- input-dependent branches ----------------------------------------- *)
+  for _ = 1 to m.input_dep do
+    let dir = Prng.bool rng in
+    let dir = match input with Ref -> dir | Train -> not dir in
+    push
+      {
+        budget = input_dep_budget;
+        corrects_est = float_of_int (input_dep_budget - monitor_cost);
+        cls = Other;
+        heavy = false;
+        make = (fun ~total_instr:_ -> stationary dir 0.9985);
+      }
+  done;
+  (* --- correlated groups (global clock) --------------------------------- *)
+  let n_groups, group_size = m.groups in
+  let n_windows = 4 in
+  for g = 0 to n_groups - 1 do
+    let dir = Prng.bool rng in
+    for r = 0 to group_size - 1 do
+      let budget =
+        max 2_500 (int_of_float (140_000.0 /. (float_of_int (1 + r) ** 2.0)))
+      in
+      let corrects_est = if budget >= 100_000 then 0.13 *. float_of_int budget else 0.0 in
+      let make ~total_instr =
+        let w = total_instr / n_windows in
+        let offset = g * w / max 1 n_groups in
+        let phases =
+          Array.init (n_windows + 1) (fun k ->
+              let p = if k mod 2 = 0 then 0.999 else 0.72 in
+              let p = if dir then p else 1.0 -. p in
+              { Behavior.until_instr = ((k + 1) * w) - offset; gp_taken = p })
+        in
+        Behavior.Global_phases phases
+      in
+      push { budget; corrects_est; cls = Other; heavy = false; make }
+    done
+  done;
+  (* --- background classes ------------------------------------------------ *)
+  let n_edge = int_of_float (edge_fraction *. float_of_int touch) in
+  let special =
+    m.strong + m.single_change + m.burst2 + m.burst3 + m.burst4 + m.oscillator
+    + m.heavy_periodic + m.late_bias + m.input_dep
+    + (n_groups * group_size)
+    + (match t.flip_quirk with Some _ -> 1 | None -> 0)
+  in
+  let rest = max 0 (touch - special - n_edge) in
+  let n_medium = rest * 55 / 100 in
+  let n_weak = rest * 25 / 100 in
+  let n_cold = rest - n_medium - n_weak in
+  let background ~n ~budget ~p_of =
+    for _ = 1 to n do
+      let dir = Prng.bool rng in
+      let p = p_of () in
+      push
+        {
+          budget;
+          corrects_est = 0.0;
+          cls = Background;
+          heavy = false;
+          make = (fun ~total_instr:_ -> stationary dir p);
+        }
+    done
+  in
+  let edge_class () =
+    for _ = 1 to n_edge do
+      let dir = Prng.bool rng in
+      let p = 0.985 +. Prng.float rng 0.011 in
+      push
+        {
+          budget = edge_budget;
+          corrects_est = 0.0;
+          cls = Edge;
+          heavy = false;
+          make = (fun ~total_instr:_ -> stationary dir p);
+        }
+    done
+  in
+  edge_class ();
+  background ~n:n_medium ~budget:background_budget ~p_of:(fun () -> 0.6 +. Prng.float rng 0.385);
+  background ~n:n_weak ~budget:background_budget ~p_of:(fun () -> 0.5 +. Prng.float rng 0.1);
+  background ~n:n_cold ~budget:cold_budget ~p_of:(fun () -> 0.5 +. Prng.float rng 0.5);
+  (* --- solve the strong-class budget for the % spec target --------------- *)
+  let others = !protos in
+  let r_budget = List.fold_left (fun acc p -> acc +. float_of_int p.budget) 0.0 others in
+  let k_est = List.fold_left (fun acc p -> acc +. p.corrects_est) 0.0 others in
+  let sigma = t.spec_share in
+  let n_strong = m.strong in
+  let s_total =
+    if sigma >= 0.999 then float_of_int (n_strong * floor_strong)
+    else
+      ((sigma *. r_budget) +. (float_of_int monitor_cost *. float_of_int n_strong) -. k_est)
+      /. (0.999 -. sigma)
+  in
+  let s_total = Float.max s_total (float_of_int (n_strong * floor_strong)) in
+  let extra_total = s_total -. float_of_int (n_strong * floor_strong) in
+  let zipf_weights = Array.init (max 1 n_strong) (fun i -> 1.0 /. (float_of_int (i + 1) ** 0.7)) in
+  let zipf_sum = Array.fold_left ( +. ) 0.0 zipf_weights in
+  let strong_protos =
+    List.init n_strong (fun i ->
+        let dir = Prng.bool rng in
+        let p = strong_p rng ~minority:t.minority in
+        let budget =
+          floor_strong + int_of_float (extra_total *. zipf_weights.(i) /. zipf_sum)
+        in
+        {
+          budget;
+          corrects_est = 0.0;
+          cls = Strong;
+          heavy = false;
+          make = (fun ~total_instr:_ -> stationary dir p);
+        })
+  in
+  (* Background padding: when the floor binds (the solved strong budget
+     cannot be reached or heavies would dominate), grow the background
+     classes so the speculated share still lands near the target and no
+     heavy branch owns an outsized slice of the stream. *)
+  let corrects_total =
+    (0.999 *. (s_total -. (float_of_int monitor_cost *. float_of_int n_strong))) +. k_est
+  in
+  let heavy_total =
+    List.fold_left (fun acc p -> if p.heavy then acc +. float_of_int p.budget else acc) 0.0 others
+  in
+  let l0 = s_total +. r_budget in
+  let l_target =
+    Float.max l0
+      (Float.max (corrects_total /. sigma) (float_of_int heavy_dilution *. heavy_total))
+  in
+  let bg_total =
+    List.fold_left
+      (fun acc p -> if p.cls = Background then acc +. float_of_int p.budget else acc)
+      0.0 others
+  in
+  let bg_factor = if bg_total > 0.0 then ((l_target -. l0) /. bg_total) +. 1.0 else 1.0 in
+  let others =
+    if bg_factor <= 1.0 then others
+    else
+      List.map
+        (fun p ->
+          if p.cls = Background then
+            { p with budget = int_of_float (float_of_int p.budget *. bg_factor) }
+          else p)
+        others
+  in
+  let protos = strong_protos @ List.rev others in
+  (* --- Train-input modifications ----------------------------------------- *)
+  let protos =
+    match input with
+    | Ref -> protos
+    | Train ->
+      let train_rng = Prng.create ((seed * 7_368_787) + Hashtbl.hash t.name) in
+      List.map
+        (fun p ->
+          (* Coverage gap: some strong branches never run on the train
+             input; mild weight perturbation elsewhere models a different
+             hot set. *)
+          if p.cls = Strong && Prng.bernoulli train_rng t.coverage_gap then
+            { p with budget = 0 } (* unexercised by this input *)
+          else
+            let factor = 0.35 +. Prng.float train_rng 1.3 in
+            { p with budget = max 1 (int_of_float (float_of_int p.budget *. factor)) })
+        protos
+  in
+  let total_events = List.fold_left (fun acc p -> acc + p.budget) 0 protos in
+  let total_instr = int_of_float (float_of_int total_events *. t.instr_per_branch) in
+  let specs =
+    List.mapi
+      (fun i p ->
+        (* a zero budget means "this input never reaches the branch":
+           give it a vanishing weight so it stays a valid population
+           member but (almost surely) never executes *)
+        let weight = if p.budget = 0 then 1e-3 else float_of_int p.budget in
+        { Population.id = i; behavior = p.make ~total_instr; weight })
+      protos
+  in
+  let pop = Population.create (Array.of_list specs) in
+  let stream_seed =
+    match input with Ref -> seed | Train -> (seed * 31) + 17
+  in
+  ( pop,
+    { Stream.seed = stream_seed; instr_per_branch = t.instr_per_branch; length = total_events } )

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_behavior Test_distill Test_experiments Test_ir Test_mssp Test_prng Test_reactive Test_sim Test_static Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Array List QCheck QCheck_alcotest Rs_behavior Rs_util

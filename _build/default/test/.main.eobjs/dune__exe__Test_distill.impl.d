@@ -1,0 +1,1 @@
+test/test_distill.ml: Alcotest Array Format List QCheck QCheck_alcotest Rs_distill Rs_ir Rs_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float List Rs_behavior Rs_experiments Rs_util Rs_workload String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array List Result Rs_ir Rs_util

@@ -1,0 +1,1 @@
+test/test_mssp.ml: Alcotest Array List Printf Rs_distill Rs_experiments Rs_ir Rs_mssp Rs_util

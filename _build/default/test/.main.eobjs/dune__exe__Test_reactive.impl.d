@@ -1,0 +1,1 @@
+test/test_reactive.ml: Alcotest List QCheck QCheck_alcotest Rs_core Rs_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List QCheck QCheck_alcotest Rs_behavior Rs_core Rs_sim

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest List Result Rs_core

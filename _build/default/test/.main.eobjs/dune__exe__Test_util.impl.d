@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Filename Fun List QCheck QCheck_alcotest Rs_util String Sys

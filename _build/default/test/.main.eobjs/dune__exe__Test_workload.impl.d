@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float List Rs_behavior Rs_core Rs_sim Rs_workload

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "reactive_speculation"
+    [
+      ("prng", Test_prng.suite);
+      ("util", Test_util.suite);
+      ("behavior", Test_behavior.suite);
+      ("core-static", Test_static.suite);
+      ("core-reactive", Test_reactive.suite);
+      ("sim", Test_sim.suite);
+      ("workload", Test_workload.suite);
+      ("ir", Test_ir.suite);
+      ("distill", Test_distill.suite);
+      ("mssp", Test_mssp.suite);
+      ("experiments", Test_experiments.suite);
+    ]

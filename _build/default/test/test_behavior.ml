@@ -1,0 +1,230 @@
+module B = Rs_behavior.Behavior
+module Pop = Rs_behavior.Population
+module Stream = Rs_behavior.Stream
+module Prng = Rs_util.Prng
+
+let p_at ?(instr = 0) b i = B.p_taken b ~exec_index:i ~instr
+
+(* --- behaviour models --------------------------------------------------- *)
+
+let test_stationary () =
+  let b = B.Stationary 0.7 in
+  Alcotest.(check (float 0.0)) "constant" 0.7 (p_at b 0);
+  Alcotest.(check (float 0.0)) "constant later" 0.7 (p_at b 1_000_000)
+
+let test_flip_at () =
+  let b = B.Flip_at { threshold = 100; first = true } in
+  Alcotest.(check (float 0.0)) "before" 1.0 (p_at b 0);
+  Alcotest.(check (float 0.0)) "last before" 1.0 (p_at b 99);
+  Alcotest.(check (float 0.0)) "at threshold" 0.0 (p_at b 100);
+  Alcotest.(check (float 0.0)) "after" 0.0 (p_at b 10_000);
+  let b' = B.Flip_at { threshold = 3; first = false } in
+  Alcotest.(check (float 0.0)) "inverted before" 0.0 (p_at b' 2);
+  Alcotest.(check (float 0.0)) "inverted after" 1.0 (p_at b' 3)
+
+let test_phases () =
+  let b =
+    B.Phases [| { length = 10; p_taken = 0.9 }; { length = 5; p_taken = 0.1 };
+                { length = 1; p_taken = 0.5 } |]
+  in
+  Alcotest.(check (float 0.0)) "phase 1 start" 0.9 (p_at b 0);
+  Alcotest.(check (float 0.0)) "phase 1 end" 0.9 (p_at b 9);
+  Alcotest.(check (float 0.0)) "phase 2 start" 0.1 (p_at b 10);
+  Alcotest.(check (float 0.0)) "phase 2 end" 0.1 (p_at b 14);
+  Alcotest.(check (float 0.0)) "last phase extends" 0.5 (p_at b 15);
+  Alcotest.(check (float 0.0)) "last phase far" 0.5 (p_at b 1_000_000)
+
+let test_softening () =
+  let b = B.Softening { start = 1.0; finish = 0.5; over = 100 } in
+  Alcotest.(check (float 1e-9)) "starts at start" 1.0 (p_at b 0);
+  Alcotest.(check (float 1e-9)) "midpoint" 0.75 (p_at b 50);
+  Alcotest.(check (float 1e-9)) "finishes" 0.5 (p_at b 100);
+  Alcotest.(check (float 1e-9)) "stays" 0.5 (p_at b 1_000)
+
+let test_periodic () =
+  let b = B.Periodic { region = 10; p_first = 0.9; p_second = 0.2 } in
+  Alcotest.(check (float 0.0)) "region 0" 0.9 (p_at b 5);
+  Alcotest.(check (float 0.0)) "region 1" 0.2 (p_at b 15);
+  Alcotest.(check (float 0.0)) "region 2" 0.9 (p_at b 25);
+  Alcotest.(check (float 0.0)) "boundary" 0.2 (p_at b 10)
+
+let test_global_phases () =
+  let b =
+    B.Global_phases
+      [| { until_instr = 100; gp_taken = 0.95 }; { until_instr = 200; gp_taken = 0.05 };
+         { until_instr = 201; gp_taken = 0.5 } |]
+  in
+  Alcotest.(check (float 0.0)) "first window" 0.95 (B.p_taken b ~exec_index:999 ~instr:50);
+  Alcotest.(check (float 0.0)) "second window" 0.05 (B.p_taken b ~exec_index:0 ~instr:150);
+  Alcotest.(check (float 0.0)) "last extends" 0.5 (B.p_taken b ~exec_index:0 ~instr:10_000)
+
+let test_mean_bias () =
+  Alcotest.(check (float 1e-6)) "stationary 0.9" 0.9 (B.mean_bias (B.Stationary 0.9) ~horizon:1000);
+  Alcotest.(check (float 1e-6)) "stationary 0.1 folds" 0.9
+    (B.mean_bias (B.Stationary 0.1) ~horizon:1000);
+  (* A half/half flip has average taken-rate 0.5 => bias 0.5. *)
+  let flip = B.Flip_at { threshold = 500; first = true } in
+  Alcotest.(check (float 0.01)) "balanced flip" 0.5 (B.mean_bias flip ~horizon:1000)
+
+let test_is_time_varying () =
+  Alcotest.(check bool) "stationary" false (B.is_time_varying (B.Stationary 0.5));
+  Alcotest.(check bool) "flip" true (B.is_time_varying (B.Flip_at { threshold = 1; first = true }))
+
+let test_sample_matches_p () =
+  let rng = Prng.create 31 in
+  let b = B.Stationary 0.8 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for i = 0 to n - 1 do
+    if B.sample b ~rng ~exec_index:i ~instr:i then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if abs_float (rate -. 0.8) > 0.01 then Alcotest.failf "sample rate %f" rate
+
+let qcheck_p_in_unit =
+  QCheck.Test.make ~name:"p_taken in [0,1] for phases" ~count:300
+    QCheck.(pair (small_list (pair small_nat (float_bound_inclusive 1.0))) small_nat)
+    (fun (phases, i) ->
+      QCheck.assume (phases <> []);
+      let b =
+        B.Phases
+          (Array.of_list
+             (List.map (fun (l, p) -> { B.length = max 1 l; p_taken = p }) phases))
+      in
+      let p = p_at b i in
+      p >= 0.0 && p <= 1.0)
+
+(* --- population --------------------------------------------------------- *)
+
+let mk_pop weights =
+  Pop.create
+    (Array.of_list
+       (List.mapi (fun id w -> { Pop.id; behavior = B.Stationary 0.5; weight = w }) weights))
+
+let test_population_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Population.create: empty population")
+    (fun () -> ignore (Pop.create [||]));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Population.create: weights must be positive and finite") (fun () ->
+      ignore (mk_pop [ 1.0; 0.0 ]));
+  Alcotest.check_raises "bad ids"
+    (Invalid_argument "Population.create: ids must be dense and in order") (fun () ->
+      ignore
+        (Pop.create [| { Pop.id = 1; behavior = B.Stationary 0.5; weight = 1.0 } |]))
+
+let test_weight_share () =
+  let pop = mk_pop [ 1.0; 3.0; 6.0 ] in
+  Alcotest.(check (float 1e-9)) "share of id 2" 0.6 (Pop.weight_share pop (fun s -> s.id = 2));
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Pop.total_weight pop)
+
+let test_alias_distribution () =
+  let pop = mk_pop [ 1.0; 2.0; 7.0 ] in
+  let s = Pop.Alias.prepare pop in
+  let rng = Prng.create 17 in
+  let counts = Array.make 3 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let i = Pop.Alias.draw s rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check (float 0.01)) "10%" 0.1 (frac 0);
+  Alcotest.(check (float 0.01)) "20%" 0.2 (frac 1);
+  Alcotest.(check (float 0.01)) "70%" 0.7 (frac 2)
+
+(* --- stream ------------------------------------------------------------- *)
+
+let test_stream_determinism () =
+  let pop = mk_pop [ 1.0; 2.0; 3.0 ] in
+  let cfg = { Stream.seed = 5; instr_per_branch = 5.5; length = 10_000 } in
+  let record cfg =
+    let evs = ref [] in
+    Stream.iter pop cfg (fun ev -> evs := (ev.branch, ev.taken, ev.instr) :: !evs);
+    !evs
+  in
+  Alcotest.(check bool) "same seed same stream" true (record cfg = record cfg);
+  let cfg' = { cfg with seed = 6 } in
+  Alcotest.(check bool) "different seed differs" false (record cfg = record cfg')
+
+let test_stream_counts_and_instr () =
+  let pop = mk_pop [ 1.0; 1.0 ] in
+  let cfg = { Stream.seed = 1; instr_per_branch = 6.5; length = 100_000 } in
+  let counts = Stream.exec_counts pop cfg in
+  Alcotest.(check int) "counts sum to length" cfg.length (Array.fold_left ( + ) 0 counts);
+  let last = ref 0 in
+  let monotone = ref true in
+  Stream.iter pop cfg (fun ev ->
+      if ev.instr <= !last then monotone := false;
+      last := ev.instr);
+  Alcotest.(check bool) "instruction counter strictly increases" true !monotone;
+  let expect = Stream.total_instructions cfg in
+  Alcotest.(check bool) "final instr near total"
+    true
+    (abs (!last - expect) < 10);
+  Alcotest.(check int) "total instructions" 650_000 expect
+
+let test_stream_exec_index () =
+  let pop = mk_pop [ 1.0 ] in
+  let cfg = { Stream.seed = 2; instr_per_branch = 1.0; length = 100 } in
+  let expected = ref 0 in
+  Stream.iter pop cfg (fun ev ->
+      Alcotest.(check int) "exec_index counts up" !expected ev.exec_index;
+      incr expected)
+
+let test_stream_behavior_independence () =
+  (* A deterministic flip branch must flip at exactly its threshold no
+     matter how other branches interleave. *)
+  let mk interfering_weight =
+    Pop.create
+      [|
+        { Pop.id = 0; behavior = B.Flip_at { threshold = 50; first = true }; weight = 1.0 };
+        { Pop.id = 1; behavior = B.Stationary 0.5; weight = interfering_weight };
+      |]
+  in
+  let outcomes weight =
+    let out = ref [] in
+    Stream.iter (mk weight)
+      { Stream.seed = 3; instr_per_branch = 4.0; length = 2_000 }
+      (fun ev -> if ev.branch = 0 then out := ev.taken :: !out);
+    List.rev !out
+  in
+  let check_flip outs =
+    List.iteri
+      (fun i taken ->
+        if i < 50 then Alcotest.(check bool) "before flip" true taken
+        else Alcotest.(check bool) "after flip" false taken)
+      outs
+  in
+  check_flip (outcomes 1.0);
+  check_flip (outcomes 10.0)
+
+let test_stream_invalid () =
+  let pop = mk_pop [ 1.0 ] in
+  Alcotest.check_raises "bad length" (Invalid_argument "Stream.iter: length must be positive")
+    (fun () ->
+      Stream.iter pop { Stream.seed = 0; instr_per_branch = 5.0; length = 0 } ignore);
+  Alcotest.check_raises "bad ipb"
+    (Invalid_argument "Stream.iter: instr_per_branch must be >= 1") (fun () ->
+      Stream.iter pop { Stream.seed = 0; instr_per_branch = 0.5; length = 1 } ignore)
+
+let suite =
+  [
+    Alcotest.test_case "stationary" `Quick test_stationary;
+    Alcotest.test_case "flip_at" `Quick test_flip_at;
+    Alcotest.test_case "phases" `Quick test_phases;
+    Alcotest.test_case "softening" `Quick test_softening;
+    Alcotest.test_case "periodic" `Quick test_periodic;
+    Alcotest.test_case "global phases" `Quick test_global_phases;
+    Alcotest.test_case "mean bias" `Quick test_mean_bias;
+    Alcotest.test_case "is_time_varying" `Quick test_is_time_varying;
+    Alcotest.test_case "sample matches p" `Quick test_sample_matches_p;
+    QCheck_alcotest.to_alcotest qcheck_p_in_unit;
+    Alcotest.test_case "population validation" `Quick test_population_validation;
+    Alcotest.test_case "weight share" `Quick test_weight_share;
+    Alcotest.test_case "alias distribution" `Quick test_alias_distribution;
+    Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+    Alcotest.test_case "stream counts and instr" `Quick test_stream_counts_and_instr;
+    Alcotest.test_case "stream exec index" `Quick test_stream_exec_index;
+    Alcotest.test_case "stream behaviour independence" `Quick test_stream_behavior_independence;
+    Alcotest.test_case "stream invalid" `Quick test_stream_invalid;
+  ]

@@ -1,0 +1,497 @@
+module Func = Rs_ir.Func
+module Instr = Rs_ir.Instr
+module Interp = Rs_ir.Interp
+module A = Rs_distill.Assumptions
+module P = Rs_distill.Passes
+module D = Rs_distill.Distill
+module V = Rs_distill.Verify
+
+(* --- assumptions -------------------------------------------------------- *)
+
+let test_assumptions_basics () =
+  let a = A.branches [ (3, true); (5, false) ] in
+  Alcotest.(check (option bool)) "site 3" (Some true) (A.direction a 3);
+  Alcotest.(check (option bool)) "site 5" (Some false) (A.direction a 5);
+  Alcotest.(check (option bool)) "unknown" None (A.direction a 9);
+  Alcotest.(check bool) "empty" true (A.is_empty A.empty);
+  Alcotest.(check bool) "nonempty" false (A.is_empty a)
+
+let test_signature_stable () =
+  let a = A.branches [ (3, true); (5, false) ] in
+  let b = A.branches [ (5, false); (3, true) ] in
+  Alcotest.(check string) "order independent" (A.signature a) (A.signature b);
+  let c = A.branches [ (3, false); (5, false) ] in
+  Alcotest.(check bool) "direction matters" false (A.signature a = A.signature c)
+
+(* --- individual passes --------------------------------------------------- *)
+
+let branchy =
+  {
+    Func.name = "branchy";
+    entry = 0;
+    nregs = 8;
+    blocks =
+      [|
+        {
+          Func.body = [| Instr.Load (0, 7, 0); Instr.Cmpi (Ne, 1, 0, 0) |];
+          term = Func.Branch { cond = 1; site = 0; taken = 1; not_taken = 2 };
+        };
+        { Func.body = [| Instr.Li (2, 10) |]; term = Func.Jump 3 };
+        { Func.body = [| Instr.Li (2, 20) |]; term = Func.Jump 3 };
+        {
+          Func.body = [| Instr.Addi (3, 2, 5); Instr.Store (7, 3, 1) |];
+          term = Func.Ret (Some 3);
+        };
+      |];
+  }
+
+let test_apply_assumptions () =
+  let f = P.apply_assumptions (A.branches [ (0, true) ]) branchy in
+  (match (Func.block f 0).term with
+  | Func.Jump 1 -> ()
+  | _ -> Alcotest.fail "branch not replaced by jump to taken side");
+  let f = P.apply_assumptions (A.branches [ (0, false) ]) branchy in
+  match (Func.block f 0).term with
+  | Func.Jump 2 -> ()
+  | _ -> Alcotest.fail "branch not replaced by jump to not-taken side"
+
+let test_apply_load_assumption () =
+  let f = P.apply_assumptions { A.branches = []; loads = [ (0, 0, 42) ] } branchy in
+  match (Func.block f 0).body.(0) with
+  | Instr.Li (0, 42) -> ()
+  | _ -> Alcotest.fail "load not replaced by immediate"
+
+let test_constant_fold_chain () =
+  let f =
+    {
+      Func.name = "consts";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [|
+                Instr.Li (0, 6);
+                Instr.Addi (1, 0, 4);
+                Instr.Binop (Mul, 2, 0, 1);
+                Instr.Cmpi (Gt, 3, 2, 50);
+              |];
+            term = Func.Ret (Some 2);
+          };
+        |];
+    }
+  in
+  let f' = P.constant_fold f in
+  (match (Func.block f' 0).body with
+  | [| Instr.Li (0, 6); Instr.Li (1, 10); Instr.Li (2, 60); Instr.Li (3, 1) |] -> ()
+  | _ -> Alcotest.failf "chain not folded: %s" (Format.asprintf "%a" Func.pp f'));
+  ()
+
+let test_constant_fold_cmp_to_cmpi () =
+  let f =
+    {
+      Func.name = "cmps";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [| Instr.Load (0, 3, 0); Instr.Li (1, 32); Instr.Cmp (Lt, 2, 0, 1) |];
+            term = Func.Ret (Some 2);
+          };
+        |];
+    }
+  in
+  let f' = P.constant_fold f in
+  (match (Func.block f' 0).body.(2) with
+  | Instr.Cmpi (Lt, 2, 0, 32) -> ()
+  | _ -> Alcotest.fail "cmp with constant rhs not folded to cmpi");
+  (* constant on the left flips the comparison *)
+  let f =
+    {
+      Func.name = "cmps2";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [| Instr.Load (0, 3, 0); Instr.Li (1, 32); Instr.Cmp (Lt, 2, 1, 0) |];
+            term = Func.Ret (Some 2);
+          };
+        |];
+    }
+  in
+  match (Func.block (P.constant_fold f) 0).body.(2) with
+  | Instr.Cmpi (Gt, 2, 0, 32) -> ()
+  | _ -> Alcotest.fail "cmp with constant lhs not flipped"
+
+let test_constant_fold_branch () =
+  let f =
+    {
+      Func.name = "cbranch";
+      entry = 0;
+      nregs = 2;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Li (0, 1) |];
+            term = Func.Branch { cond = 0; site = 0; taken = 1; not_taken = 2 };
+          };
+          { Func.body = [||]; term = Func.Ret (Some 0) };
+          { Func.body = [||]; term = Func.Ret None };
+        |];
+    }
+  in
+  match (Func.block (P.constant_fold f) 0).term with
+  | Func.Jump 1 -> ()
+  | _ -> Alcotest.fail "constant branch not folded to jump"
+
+let test_dce_removes_dead_load () =
+  let f =
+    {
+      Func.name = "deadload";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [| Instr.Load (0, 3, 0) (* dead *); Instr.Li (1, 5); Instr.Store (3, 1, 1) |];
+            term = Func.Ret (Some 1);
+          };
+        |];
+    }
+  in
+  let f' = P.dead_code_elimination f in
+  Alcotest.(check int) "dead load removed" 2 (Array.length (Func.block f' 0).body);
+  match (Func.block f' 0).body.(0) with
+  | Instr.Li (1, 5) -> ()
+  | _ -> Alcotest.fail "wrong instruction removed"
+
+let test_dce_keeps_stores_and_transitive_uses () =
+  let f =
+    {
+      Func.name = "chain";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [| Instr.Li (0, 5); Instr.Addi (1, 0, 1); Instr.Store (3, 1, 0) |];
+            term = Func.Ret None;
+          };
+        |];
+    }
+  in
+  let f' = P.dead_code_elimination f in
+  Alcotest.(check int) "nothing removed" 3 (Array.length (Func.block f' 0).body)
+
+let test_dce_path_sensitivity_after_approx () =
+  (* the figure-1 pattern: r1's first definition is dead only once the
+     branch forcing the redefinition is assumed *)
+  let f, _ = Rs_ir.Synth.figure1 () in
+  let before = P.dead_code_elimination f in
+  Alcotest.(check int) "x.b load live in original" (Func.static_size f)
+    (Func.static_size before);
+  let approx = P.apply_assumptions (A.branches [ (0, true) ]) f in
+  let after = P.dead_code_elimination approx in
+  Alcotest.(check bool) "x.b load dead after approximation" true
+    (Func.static_size after < Func.static_size approx)
+
+let test_simplify_cfg () =
+  let f =
+    {
+      Func.name = "threads";
+      entry = 0;
+      nregs = 2;
+      blocks =
+        [|
+          { Func.body = [| Instr.Li (0, 1) |]; term = Func.Jump 1 };
+          { Func.body = [||]; term = Func.Jump 2 } (* empty hop *);
+          { Func.body = [||]; term = Func.Ret (Some 0) };
+          { Func.body = [| Instr.Li (1, 9) |]; term = Func.Ret None } (* unreachable *);
+        |];
+    }
+  in
+  let f' = P.simplify_cfg f in
+  Alcotest.(check bool) "unreachable and hop removed" true (Array.length f'.blocks = 2);
+  match (Func.block f' f'.entry).term with
+  | Func.Jump l ->
+    (match (Func.block f' l).term with
+    | Func.Ret (Some 0) -> ()
+    | _ -> Alcotest.fail "jump no longer reaches ret")
+  | _ -> Alcotest.fail "entry shape changed"
+
+let test_local_cse () =
+  let f =
+    {
+      Func.name = "cse";
+      entry = 0;
+      nregs = 8;
+      blocks =
+        [|
+          {
+            Func.body =
+              [|
+                Instr.Load (0, 7, 0);
+                Instr.Binop (Add, 1, 0, 0);
+                Instr.Load (2, 7, 0) (* same load, no store between *);
+                Instr.Binop (Add, 3, 2, 2) (* same expression via the copy *);
+                Instr.Store (7, 3, 1);
+                Instr.Load (4, 7, 0) (* the store kills load availability *);
+                Instr.Store (7, 4, 2);
+                Instr.Store (7, 1, 3);
+              |];
+            term = Func.Ret None;
+          };
+        |];
+    }
+  in
+  let f' = P.local_cse f in
+  (match (Func.block f' 0).body.(2) with
+  | Instr.Mov (2, 0) -> ()
+  | i -> Alcotest.failf "redundant load not CSEd: %s" (Format.asprintf "%a" Instr.pp i));
+  (match (Func.block f' 0).body.(3) with
+  | Instr.Mov (3, 1) -> ()
+  | i -> Alcotest.failf "redundant add not CSEd: %s" (Format.asprintf "%a" Instr.pp i));
+  (match (Func.block f' 0).body.(5) with
+  | Instr.Load (4, 7, 0) -> ()
+  | i -> Alcotest.failf "load across store wrongly CSEd: %s" (Format.asprintf "%a" Instr.pp i));
+  (* the full pipeline then removes the Movs *)
+  let opt = P.pipeline A.empty f in
+  Alcotest.(check bool) "pipeline shrinks the block" true
+    (Func.static_size opt < Func.static_size f)
+
+let test_cse_respects_redefinition () =
+  let f =
+    {
+      Func.name = "redef";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [|
+                Instr.Binop (Add, 1, 0, 0);
+                Instr.Addi (0, 0, 1) (* source redefined *);
+                Instr.Binop (Add, 2, 0, 0) (* NOT the same expression *);
+                Instr.Store (3, 1, 0);
+                Instr.Store (3, 2, 1);
+              |];
+            term = Func.Ret None;
+          };
+        |];
+    }
+  in
+  match (Func.block (P.local_cse f) 0).body.(2) with
+  | Instr.Binop (Add, 2, 0, 0) -> ()
+  | i -> Alcotest.failf "stale expression reused: %s" (Format.asprintf "%a" Instr.pp i)
+
+let test_block_merging_via_pipeline () =
+  (* after assuming every branch, the region collapses into a single
+     straight-line block *)
+  let region =
+    Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create 4) ~n_sites:3 ~first_site:0 ()
+  in
+  let a = A.branches [ (0, true); (1, false); (2, true) ] in
+  let d = D.distill region.func a in
+  Alcotest.(check int) "single block remains" 1 (Array.length d.distilled.blocks)
+
+(* --- the full pipeline --------------------------------------------------- *)
+
+let test_figure1_distillation () =
+  let f, branch_assumes = Rs_ir.Synth.figure1 () in
+  let a = { A.branches = branch_assumes; loads = [ (2, 0, 32) ] } in
+  let r = D.distill f a in
+  Alcotest.(check bool) "meaningfully smaller" true
+    (r.distilled_size <= r.original_size - 4);
+  (* the only remaining branch is site 1, and the compare is against an
+     immediate 32 (the paper's cmplt r1, 32) *)
+  Alcotest.(check (list int)) "site 0 removed" [ 1 ] (Func.sites r.distilled);
+  let found_cmpi32 = ref false in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (function Instr.Cmpi (Lt, _, _, 32) -> found_cmpi32 := true | _ -> ())
+        b.body)
+    r.distilled.blocks;
+  Alcotest.(check bool) "cmplt r1, 32 present" true !found_cmpi32
+
+let test_cache () =
+  let f, _ = Rs_ir.Synth.figure1 () in
+  let cache = D.Cache.create f in
+  let a = A.branches [ (0, true) ] in
+  let r1 = D.Cache.get cache a in
+  let r2 = D.Cache.get cache a in
+  Alcotest.(check bool) "same result object" true (r1 == r2);
+  Alcotest.(check int) "one entry" 1 (D.Cache.entries cache);
+  let _ = D.Cache.get cache (A.branches [ (0, false) ]) in
+  Alcotest.(check int) "two entries" 2 (D.Cache.entries cache)
+
+let test_verify_catches_wrong_code () =
+  let f, _ = Rs_ir.Synth.figure1 () in
+  (* distill under a WRONG direction, then verify against inputs that
+     satisfy the right direction: must diverge *)
+  let wrong = D.distill f (A.branches [ (0, false) ]) in
+  let prepare i =
+    let mem = Array.make 8 0 in
+    mem.(0) <- 1;
+    mem.(2) <- 100 + i;
+    mem.(3) <- 32;
+    mem
+  in
+  match
+    V.check ~orig:f ~distilled:wrong.distilled
+      ~assumptions:(A.branches [ (0, true) ])
+      ~prepare ~trials:20
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "verification failed to detect wrong distillation"
+
+let test_verify_skips_inconsistent_trials () =
+  let f, _ = Rs_ir.Synth.figure1 () in
+  let d = D.distill f (A.branches [ (0, true) ]) in
+  (* half the trials violate the assumption; they must not be counted *)
+  let prepare i =
+    let mem = Array.make 8 0 in
+    mem.(0) <- i mod 2;
+    mem.(3) <- 32;
+    mem
+  in
+  match
+    V.check ~orig:f ~distilled:d.distilled
+      ~assumptions:(A.branches [ (0, true) ])
+      ~prepare ~trials:40
+  with
+  | Ok rep ->
+    Alcotest.(check int) "all trials ran" 40 rep.trials;
+    Alcotest.(check int) "half consistent" 20 rep.consistent
+  | Error e -> Alcotest.fail e
+
+(* Differential property: on synthetic regions, distilled == original for
+   every outcome vector consistent with random assumption sets. *)
+let qcheck_distill_equivalence =
+  QCheck.Test.make ~name:"distilled region == original under assumptions" ~count:60
+    QCheck.(triple small_int (int_bound 15) (int_bound 15))
+    (fun (seed, assume_mask, dir_mask) ->
+      let region =
+        Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create seed) ~n_sites:4 ~first_site:0 ()
+      in
+      let branches =
+        List.concat_map
+          (fun j ->
+            if assume_mask land (1 lsl j) <> 0 then [ (j, dir_mask land (1 lsl j) <> 0) ]
+            else [])
+          [ 0; 1; 2; 3 ]
+      in
+      let a = A.branches branches in
+      let d = D.distill region.func a in
+      (* check all 16 outcome vectors consistent with the assumptions *)
+      let ok = ref true in
+      for v = 0 to 15 do
+        let consistent =
+          List.for_all (fun (j, dir) -> v land (1 lsl j) <> 0 = dir) branches
+        in
+        if consistent then begin
+          let outcomes = Array.init 4 (fun j -> v land (1 lsl j) <> 0) in
+          let mem_o = Array.make region.mem_size 0 in
+          Rs_ir.Synth.set_inputs region ~mem:mem_o outcomes;
+          (* randomize the globals so the work is data dependent *)
+          let rng = Rs_util.Prng.create (seed + v) in
+          for g = 4 to region.mem_size - 3 do
+            mem_o.(g) <- Rs_util.Prng.int rng 1000
+          done;
+          let mem_d = Array.copy mem_o in
+          let ro = Interp.run region.func ~mem:mem_o in
+          let rd = Interp.run d.distilled ~mem:mem_d in
+          if ro.return_value <> rd.return_value || mem_o <> mem_d then ok := false
+        end
+      done;
+      !ok)
+
+(* Without assumptions the pipeline is a plain optimizer: it must
+   preserve semantics exactly on every input. *)
+let qcheck_pipeline_preserves_semantics =
+  QCheck.Test.make ~name:"optimization passes preserve semantics (no assumptions)" ~count:60
+    QCheck.(pair small_int (int_bound 15))
+    (fun (seed, v) ->
+      let region =
+        Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create seed) ~n_sites:4 ~first_site:0 ()
+      in
+      let opt = P.pipeline A.empty region.func in
+      let outcomes = Array.init 4 (fun j -> v land (1 lsl j) <> 0) in
+      let mem_o = Array.make region.mem_size 0 in
+      Rs_ir.Synth.set_inputs region ~mem:mem_o outcomes;
+      let rng = Rs_util.Prng.create (seed * 3 + v) in
+      for g = 4 to region.mem_size - 3 do
+        mem_o.(g) <- Rs_util.Prng.int rng 1000
+      done;
+      let mem_d = Array.copy mem_o in
+      let ro = Interp.run region.func ~mem:mem_o in
+      let rd = Interp.run opt ~mem:mem_d in
+      ro.return_value = rd.return_value && mem_o = mem_d)
+
+let qcheck_pipeline_idempotent =
+  QCheck.Test.make ~name:"distillation is idempotent" ~count:40
+    QCheck.(pair small_int (int_bound 15))
+    (fun (seed, assume_mask) ->
+      let region =
+        Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create seed) ~n_sites:4 ~first_site:0 ()
+      in
+      let branches =
+        List.concat_map
+          (fun j -> if assume_mask land (1 lsl j) <> 0 then [ (j, true) ] else [])
+          [ 0; 1; 2; 3 ]
+      in
+      let a = A.branches branches in
+      let once = (D.distill region.func a).distilled in
+      let twice = (D.distill once A.empty).distilled in
+      Func.static_size twice = Func.static_size once)
+
+let qcheck_distill_never_grows =
+  QCheck.Test.make ~name:"distillation never grows the code" ~count:60
+    QCheck.(pair small_int (int_bound 15))
+    (fun (seed, assume_mask) ->
+      let region =
+        Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create seed) ~n_sites:4 ~first_site:0 ()
+      in
+      let branches =
+        List.concat_map
+          (fun j -> if assume_mask land (1 lsl j) <> 0 then [ (j, true) ] else [])
+          [ 0; 1; 2; 3 ]
+      in
+      let d = D.distill region.func (A.branches branches) in
+      d.distilled_size <= d.original_size)
+
+let suite =
+  [
+    Alcotest.test_case "assumptions basics" `Quick test_assumptions_basics;
+    Alcotest.test_case "signature stable" `Quick test_signature_stable;
+    Alcotest.test_case "apply branch assumptions" `Quick test_apply_assumptions;
+    Alcotest.test_case "apply load assumption" `Quick test_apply_load_assumption;
+    Alcotest.test_case "constant fold chain" `Quick test_constant_fold_chain;
+    Alcotest.test_case "cmp folds to cmpi" `Quick test_constant_fold_cmp_to_cmpi;
+    Alcotest.test_case "constant branch folds" `Quick test_constant_fold_branch;
+    Alcotest.test_case "dce removes dead load" `Quick test_dce_removes_dead_load;
+    Alcotest.test_case "dce keeps stores" `Quick test_dce_keeps_stores_and_transitive_uses;
+    Alcotest.test_case "dce after approximation (figure 1)" `Quick
+      test_dce_path_sensitivity_after_approx;
+    Alcotest.test_case "simplify cfg" `Quick test_simplify_cfg;
+    Alcotest.test_case "local cse" `Quick test_local_cse;
+    Alcotest.test_case "cse respects redefinition" `Quick test_cse_respects_redefinition;
+    Alcotest.test_case "block merging via pipeline" `Quick test_block_merging_via_pipeline;
+    Alcotest.test_case "figure 1 distillation" `Quick test_figure1_distillation;
+    Alcotest.test_case "distillation cache" `Quick test_cache;
+    Alcotest.test_case "verify catches wrong code" `Quick test_verify_catches_wrong_code;
+    Alcotest.test_case "verify skips inconsistent trials" `Quick
+      test_verify_skips_inconsistent_trials;
+    QCheck_alcotest.to_alcotest qcheck_distill_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_distill_never_grows;
+    QCheck_alcotest.to_alcotest qcheck_pipeline_preserves_semantics;
+    QCheck_alcotest.to_alcotest qcheck_pipeline_idempotent;
+  ]

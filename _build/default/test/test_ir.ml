@@ -1,0 +1,218 @@
+module Instr = Rs_ir.Instr
+module Func = Rs_ir.Func
+module Interp = Rs_ir.Interp
+module Synth = Rs_ir.Synth
+
+(* --- instruction helpers ------------------------------------------------ *)
+
+let test_def_uses () =
+  Alcotest.(check (option int)) "li def" (Some 3) (Instr.def (Li (3, 7)));
+  Alcotest.(check (option int)) "store no def" None (Instr.def (Store (1, 2, 0)));
+  Alcotest.(check (list int)) "store uses both" [ 1; 2 ] (Instr.uses (Store (1, 2, 0)));
+  Alcotest.(check (list int)) "li uses none" [] (Instr.uses (Li (3, 7)));
+  Alcotest.(check (list int)) "binop uses" [ 4; 5 ] (Instr.uses (Binop (Add, 3, 4, 5)))
+
+let test_eval () =
+  Alcotest.(check int) "add" 7 (Instr.eval_binop Add 3 4);
+  Alcotest.(check int) "sub" (-1) (Instr.eval_binop Sub 3 4);
+  Alcotest.(check int) "mul" 12 (Instr.eval_binop Mul 3 4);
+  Alcotest.(check int) "xor" 7 (Instr.eval_binop Xor 3 4);
+  Alcotest.(check int) "shl" 12 (Instr.eval_binop Shl 3 2);
+  Alcotest.(check int) "shr" (-2) (Instr.eval_binop Shr (-8) 2);
+  Alcotest.(check bool) "lt" true (Instr.eval_cmp Lt 3 4);
+  Alcotest.(check bool) "ge" false (Instr.eval_cmp Ge 3 4);
+  Alcotest.(check bool) "eq" true (Instr.eval_cmp Eq 4 4)
+
+let test_map_regs () =
+  let i = Instr.Binop (Add, 1, 2, 3) in
+  Alcotest.(check bool) "renamed" true
+    (Instr.map_regs (fun r -> r + 10) i = Instr.Binop (Add, 11, 12, 13))
+
+(* --- function validation ------------------------------------------------ *)
+
+let valid_func =
+  {
+    Func.name = "f";
+    entry = 0;
+    nregs = 4;
+    blocks =
+      [|
+        {
+          Func.body = [| Instr.Li (0, 5); Instr.Cmpi (Gt, 1, 0, 3) |];
+          term = Func.Branch { cond = 1; site = 0; taken = 1; not_taken = 2 };
+        };
+        { Func.body = [| Instr.Li (2, 1) |]; term = Func.Jump 2 };
+        { Func.body = [||]; term = Func.Ret (Some 0) };
+      |];
+  }
+
+let test_validate () =
+  Alcotest.(check bool) "valid" true (Result.is_ok (Func.validate valid_func));
+  let bad_label = { valid_func with entry = 9 } in
+  Alcotest.(check bool) "bad entry" true (Result.is_error (Func.validate bad_label));
+  let bad_reg = { valid_func with nregs = 1 } in
+  Alcotest.(check bool) "bad reg" true (Result.is_error (Func.validate bad_reg));
+  let empty = { valid_func with blocks = [||] } in
+  Alcotest.(check bool) "no blocks" true (Result.is_error (Func.validate empty))
+
+let test_static_size_and_sites () =
+  Alcotest.(check int) "size counts terminators" 6 (Func.static_size valid_func);
+  Alcotest.(check (list int)) "sites" [ 0 ] (Func.sites valid_func)
+
+let test_reachable () =
+  let f =
+    {
+      valid_func with
+      blocks =
+        Array.append valid_func.blocks
+          [| { Func.body = [||]; term = Func.Ret None } |];
+    }
+  in
+  let r = Func.reachable f in
+  Alcotest.(check (array bool)) "last block unreachable" [| true; true; true; false |] r
+
+(* --- interpreter -------------------------------------------------------- *)
+
+let test_interp_arith () =
+  let f =
+    {
+      Func.name = "arith";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body =
+              [|
+                Instr.Li (0, 6);
+                Instr.Li (1, 7);
+                Instr.Binop (Mul, 2, 0, 1);
+                Instr.Addi (2, 2, 100);
+              |];
+            term = Func.Ret (Some 2);
+          };
+        |];
+    }
+  in
+  let r = Interp.run f ~mem:(Array.make 4 0) in
+  Alcotest.(check (option int)) "6*7+100" (Some 142) r.return_value;
+  Alcotest.(check int) "dyn instrs" 5 r.dyn_instrs
+
+let test_interp_memory_and_branch () =
+  let f =
+    {
+      Func.name = "memo";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Load (0, 1, 0); Instr.Cmpi (Gt, 2, 0, 10) |];
+            term = Func.Branch { cond = 2; site = 7; taken = 1; not_taken = 2 };
+          };
+          { Func.body = [| Instr.Li (3, 111); Instr.Store (1, 3, 1) |]; term = Func.Ret (Some 3) };
+          { Func.body = [| Instr.Li (3, 222); Instr.Store (1, 3, 1) |]; term = Func.Ret (Some 3) };
+        |];
+    }
+  in
+  let mem = [| 50; 0 |] in
+  let outcomes = Interp.branch_outcomes f ~mem in
+  Alcotest.(check bool) "taken when >10" true (outcomes = [ (7, true) ]);
+  Alcotest.(check int) "taken side stored" 111 mem.(1);
+  let mem = [| 5; 0 |] in
+  let r = Interp.run f ~mem in
+  Alcotest.(check (option int)) "not-taken value" (Some 222) r.return_value;
+  Alcotest.(check int) "not-taken side stored" 222 mem.(1)
+
+let test_interp_oob () =
+  let f =
+    {
+      Func.name = "oob";
+      entry = 0;
+      nregs = 2;
+      blocks = [| { Func.body = [| Instr.Load (0, 1, 99) |]; term = Func.Ret None } |];
+    }
+  in
+  Alcotest.check_raises "out of bounds" (Interp.Stuck "address 99 out of bounds") (fun () ->
+      ignore (Interp.run f ~mem:(Array.make 4 0)))
+
+let test_interp_step_budget () =
+  let f =
+    {
+      Func.name = "loop";
+      entry = 0;
+      nregs = 1;
+      blocks = [| { Func.body = [||]; term = Func.Jump 0 } |];
+    }
+  in
+  Alcotest.check_raises "budget" (Interp.Stuck "step budget exceeded") (fun () ->
+      ignore (Interp.run ~max_steps:100 f ~mem:(Array.make 1 0)))
+
+let test_interp_initial_regs () =
+  let f =
+    {
+      Func.name = "seeded";
+      entry = 0;
+      nregs = 2;
+      blocks = [| { Func.body = [| Instr.Addi (1, 0, 1) |]; term = Func.Ret (Some 1) } |];
+    }
+  in
+  let r = Interp.run ~regs:[| 41 |] f ~mem:(Array.make 1 0) in
+  Alcotest.(check (option int)) "seeded register" (Some 42) r.return_value
+
+(* --- synthetic regions --------------------------------------------------- *)
+
+let test_synth_valid_and_deterministic () =
+  let make () = Synth.generate ~rng:(Rs_util.Prng.create 5) ~n_sites:4 ~first_site:12 () in
+  let a = make () and b = make () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Func.validate a.func));
+  Alcotest.(check int) "same size" (Func.static_size a.func) (Func.static_size b.func);
+  Alcotest.(check (array int)) "site ids" [| 12; 13; 14; 15 |] a.site_ids
+
+let test_synth_outcomes_respected () =
+  let region = Synth.generate ~rng:(Rs_util.Prng.create 9) ~n_sites:4 ~first_site:0 () in
+  let cases = [ [| true; true; true; true |]; [| false; true; false; true |] ] in
+  List.iter
+    (fun outcomes ->
+      let mem = Array.make region.mem_size 0 in
+      Synth.set_inputs region ~mem outcomes;
+      let seen = Rs_ir.Interp.branch_outcomes region.func ~mem in
+      Alcotest.(check int) "all sites executed" 4 (List.length seen);
+      List.iteri
+        (fun j (site, taken) ->
+          Alcotest.(check int) "site order" j site;
+          Alcotest.(check bool) "outcome as set" outcomes.(j) taken)
+        seen)
+    cases
+
+let test_synth_paths_differ () =
+  let region = Synth.generate ~rng:(Rs_util.Prng.create 1) ~n_sites:3 ~first_site:0 () in
+  let r_tt = Synth.run region ~outcomes:[| true; true; true |] in
+  let r_ff = Synth.run region ~outcomes:[| false; false; false |] in
+  (* both directions execute work; results generally differ *)
+  Alcotest.(check bool) "lengths positive" true (r_tt.dyn_instrs > 20 && r_ff.dyn_instrs > 20)
+
+let test_figure1_shape () =
+  let f, assumes = Synth.figure1 () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Func.validate f));
+  Alcotest.(check (list int)) "two sites" [ 0; 1 ] (Func.sites f);
+  Alcotest.(check bool) "x.a assumed taken" true (assumes = [ (0, true) ])
+
+let suite =
+  [
+    Alcotest.test_case "def/uses" `Quick test_def_uses;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "map_regs" `Quick test_map_regs;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "static size and sites" `Quick test_static_size_and_sites;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "interp arithmetic" `Quick test_interp_arith;
+    Alcotest.test_case "interp memory and branch" `Quick test_interp_memory_and_branch;
+    Alcotest.test_case "interp out of bounds" `Quick test_interp_oob;
+    Alcotest.test_case "interp step budget" `Quick test_interp_step_budget;
+    Alcotest.test_case "interp initial regs" `Quick test_interp_initial_regs;
+    Alcotest.test_case "synth valid and deterministic" `Quick test_synth_valid_and_deterministic;
+    Alcotest.test_case "synth outcomes respected" `Quick test_synth_outcomes_respected;
+    Alcotest.test_case "synth paths differ" `Quick test_synth_paths_differ;
+    Alcotest.test_case "figure1 shape" `Quick test_figure1_shape;
+  ]

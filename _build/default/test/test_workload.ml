@@ -1,0 +1,114 @@
+module BM = Rs_workload.Benchmark
+module Pop = Rs_behavior.Population
+module Stream = Rs_behavior.Stream
+
+let tau = BM.default_tau
+
+let test_twelve_benchmarks () =
+  Alcotest.(check int) "12 benchmarks" 12 (List.length BM.all);
+  Alcotest.(check (list string)) "paper order"
+    [ "bzip2"; "crafty"; "eon"; "gap"; "gcc"; "gzip"; "mcf"; "parser"; "perl"; "twolf";
+      "vortex"; "vpr" ]
+    BM.names
+
+let test_find () =
+  Alcotest.(check string) "find gcc" "gcc" (BM.find "gcc").name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (BM.find "nope"))
+
+let test_paper_rows () =
+  (* spot-check the transcription of Table 3 *)
+  let gcc = BM.find "gcc" in
+  Alcotest.(check int) "gcc touch" 7943 gcc.paper.p_touch;
+  Alcotest.(check int) "gcc bias" 2068 gcc.paper.p_bias;
+  let mcf = BM.find "mcf" in
+  Alcotest.(check int) "mcf misspec dist" 12_896 mcf.paper.p_misspec_dist;
+  let ave =
+    List.fold_left (fun acc (b : BM.t) -> acc +. b.paper.p_spec_pct) 0.0 BM.all
+    /. float_of_int (List.length BM.all)
+  in
+  Alcotest.(check bool) "Table 3 average ~44.8%" true (abs_float (ave -. 44.8) < 1.0)
+
+let test_build_deterministic () =
+  let bm = BM.find "gzip" in
+  let p1, c1 = BM.build bm ~input:Ref ~seed:1 ~scale:0.05 ~tau in
+  let p2, c2 = BM.build bm ~input:Ref ~seed:1 ~scale:0.05 ~tau in
+  Alcotest.(check int) "same size" (Pop.size p1) (Pop.size p2);
+  Alcotest.(check int) "same length" c1.length c2.length;
+  for i = 0 to Pop.size p1 - 1 do
+    let s1 = Pop.spec p1 i and s2 = Pop.spec p2 i in
+    if s1.weight <> s2.weight then Alcotest.failf "weight mismatch at %d" i
+  done
+
+let test_build_population_size () =
+  List.iter
+    (fun (bm : BM.t) ->
+      let pop, cfg = BM.build bm ~input:Ref ~seed:3 ~scale:0.05 ~tau in
+      let expected = max 1 (int_of_float (Float.round (float_of_int bm.touch *. 0.05))) in
+      (* derived background classes absorb rounding: allow slack *)
+      let n = Pop.size pop in
+      if abs (n - expected) > expected / 5 then
+        Alcotest.failf "%s: population %d far from touch target %d" bm.name n expected;
+      Alcotest.(check bool) (bm.name ^ " has positive length") true (cfg.length > 0))
+    BM.all
+
+let test_scale_validation () =
+  let bm = BM.find "mcf" in
+  Alcotest.check_raises "scale 0" (Invalid_argument "Benchmark.build: scale must be in (0, 1]")
+    (fun () -> ignore (BM.build bm ~input:Ref ~seed:1 ~scale:0.0 ~tau));
+  Alcotest.check_raises "scale 2" (Invalid_argument "Benchmark.build: scale must be in (0, 1]")
+    (fun () -> ignore (BM.build bm ~input:Ref ~seed:1 ~scale:2.0 ~tau));
+  Alcotest.check_raises "tau 0" (Invalid_argument "Benchmark.build: tau must be positive")
+    (fun () -> ignore (BM.build bm ~input:Ref ~seed:1 ~scale:0.5 ~tau:0))
+
+let test_train_input_differs () =
+  let bm = BM.find "crafty" in
+  let pr, _ = BM.build bm ~input:Ref ~seed:5 ~scale:0.1 ~tau in
+  let pt, _ = BM.build bm ~input:Train ~seed:5 ~scale:0.1 ~tau in
+  Alcotest.(check int) "same statics" (Pop.size pr) (Pop.size pt);
+  (* the coverage gap leaves some branches unexercised on train *)
+  let gap = ref 0 in
+  for i = 0 to Pop.size pt - 1 do
+    if (Pop.spec pt i).weight < 0.01 && (Pop.spec pr i).weight > 1.0 then incr gap
+  done;
+  Alcotest.(check bool) "coverage gap present" true (!gap > 0);
+  (* input-dependent branches flip direction between inputs *)
+  let flipped = ref 0 in
+  for i = 0 to Pop.size pr - 1 do
+    match ((Pop.spec pr i).behavior, (Pop.spec pt i).behavior) with
+    | Rs_behavior.Behavior.Stationary a, Rs_behavior.Behavior.Stationary b
+      when abs_float (a -. (1.0 -. b)) < 1e-9 && abs_float (a -. b) > 0.9 ->
+      incr flipped
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "input-dependent branches flip" true (!flipped > 0)
+
+let test_scaled_run_smoke () =
+  (* tiny end-to-end run on one benchmark: the reactive controller finds a
+     sizeable biased population and a low misspeculation rate *)
+  let bm = BM.find "twolf" in
+  let pop, cfg = BM.build bm ~input:Ref ~seed:11 ~scale:0.05 ~tau in
+  let params = Rs_core.Params.compress ~factor:tau Rs_core.Params.default in
+  let r = Rs_sim.Engine.run pop cfg params in
+  let row = Rs_sim.Accounting.of_result r in
+  Alcotest.(check bool) "speculates >20% of branches" true (row.correct_rate > 0.2);
+  Alcotest.(check bool) "misspec rate below 1%" true (row.incorrect_rate < 0.01);
+  Alcotest.(check bool) "some branches biased" true (row.entered_biased > 0)
+
+let test_biased_class_size () =
+  let bm = BM.find "gcc" in
+  let expected = BM.biased_class_size bm ~scale:1.0 in
+  (* gcc's Table 3 bias column is 2068 *)
+  Alcotest.(check bool) "near the paper target" true (abs (expected - 2068) < 80)
+
+let suite =
+  [
+    Alcotest.test_case "twelve benchmarks" `Quick test_twelve_benchmarks;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "paper rows" `Quick test_paper_rows;
+    Alcotest.test_case "build deterministic" `Quick test_build_deterministic;
+    Alcotest.test_case "population sizes" `Quick test_build_population_size;
+    Alcotest.test_case "scale validation" `Quick test_scale_validation;
+    Alcotest.test_case "train input differs" `Quick test_train_input_differs;
+    Alcotest.test_case "scaled run smoke" `Slow test_scaled_run_smoke;
+    Alcotest.test_case "biased class size" `Quick test_biased_class_size;
+  ]
