@@ -23,8 +23,24 @@ let ctx_term =
     in
     Arg.(value & opt int E.Context.default.tau & info [ "tau" ] ~docv:"TAU" ~doc)
   in
-  let make scale seed tau = E.Context.create ~seed ~scale ~tau () in
-  Term.(const make $ scale $ seed $ tau)
+  let jobs =
+    let doc =
+      "Worker domains for the experiment runner (also $(b,RS_JOBS); default: the \
+       recommended domain count).  Results are independent of JOBS; 1 runs fully \
+       sequentially."
+    in
+    Arg.(value & opt int E.Context.default.jobs & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+  in
+  let cache_stats =
+    let doc = "Print artifact-cache hit/miss counters to stderr after the run." in
+    Arg.(value & flag & info [ "cache-stats" ] ~doc)
+  in
+  let make scale seed tau jobs cache_stats =
+    if cache_stats then
+      at_exit (fun () -> prerr_endline (E.Cache.describe (E.Cache.stats ())));
+    E.Context.create ~seed ~scale ~tau ~jobs ()
+  in
+  Term.(const make $ scale $ seed $ tau $ jobs $ cache_stats)
 
 let with_header name f ctx =
   Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx);

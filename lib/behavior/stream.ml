@@ -5,7 +5,7 @@ type config = { seed : int; instr_per_branch : float; length : int }
 let total_instructions config =
   int_of_float (float_of_int config.length *. config.instr_per_branch)
 
-let iter pop config f =
+let iter_counted pop config f =
   if config.length <= 0 then invalid_arg "Stream.iter: length must be positive";
   if config.instr_per_branch < 1.0 then
     invalid_arg "Stream.iter: instr_per_branch must be >= 1";
@@ -40,9 +40,9 @@ let iter pop config f =
       Behavior.sample spec.behavior ~rng:branch_rngs.(b) ~exec_index ~instr:!instr
     in
     f { branch = b; taken; exec_index; instr = !instr }
-  done
+  done;
+  exec
 
-let exec_counts pop config =
-  let counts = Array.make (Population.size pop) 0 in
-  iter pop config (fun ev -> counts.(ev.branch) <- counts.(ev.branch) + 1);
-  counts
+let iter pop config f = ignore (iter_counted pop config f : int array)
+
+let exec_counts pop config = iter_counted pop config (fun _ -> ())

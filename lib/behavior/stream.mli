@@ -30,9 +30,18 @@ val iter : Population.t -> config -> (event -> unit) -> unit
     each.  @raise Invalid_argument on a non-positive length or an
     [instr_per_branch < 1]. *)
 
+val iter_counted : Population.t -> config -> (event -> unit) -> int array
+(** Like {!iter}, and additionally returns the per-branch execution
+    totals the generator maintained during that same pass.  Consumers
+    that need both the events and the final counts should use this
+    rather than following an {!iter} with {!exec_counts}, which would
+    regenerate the whole stream a second time. *)
+
 val exec_counts : Population.t -> config -> int array
-(** Per-branch execution totals of the stream (a cheap replay used by
-    tests and calibration). *)
+(** Per-branch execution totals, obtained by generating (and
+    discarding) the full stream.  This costs a complete pass: callers
+    that already consume the events should take the counts from
+    {!iter_counted} instead. *)
 
 val total_instructions : config -> int
 (** Instruction count the stream reaches, [length * instr_per_branch]

@@ -23,8 +23,7 @@ let evaluate ctx label params =
   List.iter
     (fun name ->
       let bm = BM.find name in
-      let pop, cfg = Context.build ctx bm ~input:Ref in
-      let r = Rs_sim.Engine.run pop cfg (Context.params_of ctx params) in
+      let r = Cache.run ctx bm ~input:Ref (Context.params_of ctx params) in
       let row = Rs_sim.Accounting.of_result r in
       correct := !correct +. row.correct_rate;
       incorrect := !incorrect +. row.incorrect_rate;
@@ -59,46 +58,41 @@ let wait_periods = [ 100_000; 300_000; 1_000_000; 3_000_000 ]
 let oscillation_limits = [ (1, "1"); (5, "5 (paper)"); (max_int / 2, "unbounded") ]
 let selection_thresholds = [ 0.99; 0.995; 0.999 ]
 
+let sweep_specs () =
+  [
+    ("eviction hysteresis shape", hysteresis_shapes);
+    ( "monitor period (executions)",
+      List.map (fun m -> (Table.fmt_int m, { P.default with monitor_period = m })) monitor_periods
+    );
+    ( "revisit wait period (executions, paper time)",
+      List.map (fun w -> (Table.fmt_int w, { P.default with wait_period = w })) wait_periods );
+    ( "oscillation limit (selections per branch)",
+      List.map (fun (lim, l) -> (l, { P.default with oscillation_limit = lim })) oscillation_limits
+    );
+    ( "selection threshold",
+      List.map
+        (fun th -> (Table.fmt_pct ~decimals:1 th, { P.default with selection_threshold = th }))
+        selection_thresholds );
+  ]
+
 let run ctx =
+  (* Every (configuration, benchmark) simulation is independent: flatten
+     the sweeps into one task list, fan it out over the pool, and slice
+     the ordered results back into their sweeps. *)
+  let specs = sweep_specs () in
+  let flat = Array.of_list (List.concat_map snd specs) in
+  let rows =
+    Rs_util.Pool.map_ordered (Context.pool ctx) (fun (l, p) -> evaluate ctx l p) flat
+  in
+  let index = ref 0 in
   let sweeps =
-    [
-      {
-        title = "eviction hysteresis shape";
-        rows = List.map (fun (l, p) -> evaluate ctx l p) hysteresis_shapes;
-      };
-      {
-        title = "monitor period (executions)";
-        rows =
-          List.map
-            (fun m ->
-              evaluate ctx (Table.fmt_int m) { P.default with monitor_period = m })
-            monitor_periods;
-      };
-      {
-        title = "revisit wait period (executions, paper time)";
-        rows =
-          List.map
-            (fun w -> evaluate ctx (Table.fmt_int w) { P.default with wait_period = w })
-            wait_periods;
-      };
-      {
-        title = "oscillation limit (selections per branch)";
-        rows =
-          List.map
-            (fun (lim, l) -> evaluate ctx l { P.default with oscillation_limit = lim })
-            oscillation_limits;
-      };
-      {
-        title = "selection threshold";
-        rows =
-          List.map
-            (fun th ->
-              evaluate ctx
-                (Table.fmt_pct ~decimals:1 th)
-                { P.default with selection_threshold = th })
-            selection_thresholds;
-      };
-    ]
+    List.map
+      (fun (title, spec_rows) ->
+        let n = List.length spec_rows in
+        let rows = Array.to_list (Array.sub rows !index n) in
+        index := !index + n;
+        { title; rows })
+      specs
   in
   { sweeps }
 

@@ -11,12 +11,11 @@ let ratio (r : Rs_sim.Engine.result) =
 
 let run ctx =
   let rows =
-    List.map
+    Rs_util.Pool.map_ordered (Context.pool ctx)
       (fun (bm : BM.t) ->
-        let pop, cfg = Context.build ctx bm ~input:Ref in
-        let baseline = Rs_sim.Engine.run pop cfg (Context.params ctx) in
+        let baseline = Cache.run ctx bm ~input:Ref (Context.params ctx) in
         let open_loop =
-          Rs_sim.Engine.run pop cfg
+          Cache.run ctx bm ~input:Ref
             (Context.params_of ctx Rs_core.Variants.no_eviction.params)
         in
         {
@@ -24,9 +23,9 @@ let run ctx =
           reactive_ratio = ratio baseline;
           open_loop_ratio = ratio open_loop;
         })
-      BM.all
+      (Array.of_list BM.all)
   in
-  { rows }
+  { rows = Array.to_list rows }
 
 let fmt v = if Float.is_finite v then Printf.sprintf "%.0fx" v else "inf"
 

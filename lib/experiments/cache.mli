@@ -1,0 +1,78 @@
+(** Shared artifact cache for one experiment-suite run.
+
+    The experiments of Sections 2–4 sweep the same 12 benchmarks over and
+    over: figure2, figure3 and figure5 each rebuild the same populations
+    and re-collect the same whole-run profiles, table3 re-runs figure5's
+    baseline simulation, table4 and the claims checklist re-run figure5
+    and figure2 outright.  This module memoises the three artifact kinds
+    those loops share — built populations, collected {!Rs_sim.Profile}s
+    and plain (hook-free) {!Rs_sim.Engine} results — keyed on the
+    context's [(seed, scale, tau)] plus the benchmark, input and (for
+    engine runs) controller parameters.  [jobs] is deliberately not part
+    of the key: parallelism never changes results.
+
+    Profiles are collected once per [(context, benchmark, input)] with a
+    superset of every checkpoint window the suite asks for (the default
+    {!Rs_core.Static.windows}, the context's compressed windows and
+    figure3's 20,000-execution window), so all three figure experiments
+    share one physical profile.  A request for a window outside the
+    cached set upgrades the entry in place with the union.
+
+    All entries are immutable once published and all operations are
+    domain-safe: concurrent requests for one key compute it exactly once
+    (latecomers block until the first computation publishes).  The cache
+    is process-global — [rspec all] threads it through every experiment —
+    and hit/miss counters are exposed for the bench harness. *)
+
+type stats = {
+  build_hits : int;
+  build_misses : int;
+  profile_hits : int;
+  profile_misses : int;
+  run_hits : int;
+  run_misses : int;
+}
+
+val build :
+  Context.t ->
+  Rs_workload.Benchmark.t ->
+  input:Rs_workload.Benchmark.input ->
+  Rs_behavior.Population.t * Rs_behavior.Stream.config
+(** Memoised {!Context.build}.  The population is immutable after
+    construction, so sharing one across domains is safe. *)
+
+val profile :
+  ?windows:int array ->
+  Context.t ->
+  Rs_workload.Benchmark.t ->
+  input:Rs_workload.Benchmark.input ->
+  Rs_sim.Profile.t
+(** Memoised {!Rs_sim.Profile.collect} over the memoised build.
+    [windows] (default {!Rs_core.Static.windows}) lists the checkpoints
+    the caller needs; the cached profile is guaranteed to contain them
+    but may contain more.  Repeat requests return the physically same
+    profile. *)
+
+val run :
+  Context.t ->
+  Rs_workload.Benchmark.t ->
+  input:Rs_workload.Benchmark.input ->
+  Rs_core.Params.t ->
+  Rs_sim.Engine.result
+(** Memoised hook-free [Rs_sim.Engine.run] over the memoised build,
+    keyed additionally on the (already compressed) parameters.  Callers
+    that pass an [observer] or [on_transition] must keep calling the
+    engine directly — hooks observe the run, so a cached replay would
+    skip them. *)
+
+val stats : unit -> stats
+(** Counters since the last {!reset} (or process start). *)
+
+val hit_rate : stats -> float
+(** Overall hits / (hits + misses), 0 if nothing was requested. *)
+
+val describe : stats -> string
+(** One-line [hits/misses] summary per artifact kind. *)
+
+val reset : unit -> unit
+(** Drop every entry and zero the counters (tests and benches). *)

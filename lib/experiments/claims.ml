@@ -8,8 +8,26 @@ let run ctx =
   let verdicts = ref [] in
   let check claim measured pass = verdicts := { claim; measured; pass } :: !verdicts in
 
+  (* The five sub-experiments behind the verdicts are independent: fan
+     them out over the pool (each fans out again internally over its
+     benchmarks; the pool supports that nesting).  In an [rspec all] run
+     every one of these is already cached and returns immediately. *)
+  let f5, f2, f6, f7, f8 =
+    match
+      Rs_util.Pool.run_all (Context.pool ctx)
+        [
+          (fun () -> `F5 (Figure5.run ctx));
+          (fun () -> `F2 (Figure2.run ctx));
+          (fun () -> `F6 (Figure6.run ctx));
+          (fun () -> `F7 (Figure7.run ctx));
+          (fun () -> `F8 (Figure8.run ctx));
+        ]
+    with
+    | [ `F5 f5; `F2 f2; `F6 f6; `F7 f7; `F8 f8 ] -> (f5, f2, f6, f7, f8)
+    | _ -> assert false
+  in
+
   (* ---- abstract model (Figures 2/5, Tables 3/4) ---- *)
-  let f5 = Figure5.run ctx in
   let avgs = Figure5.averages f5 in
   let get k = List.assoc k avgs in
   let base = get "baseline" in
@@ -54,7 +72,6 @@ let run ctx =
     && List.exists (fun (r : Figure5.bench_row) -> r.benchmark = "mcf") beats);
 
   (* ---- offline profiling fragility (Figure 2) ---- *)
-  let f2 = Figure2.run ctx in
   let avg sel = List.fold_left (fun a r -> a +. sel r) 0.0 f2.rows /. 12.0 in
   let knee_c = avg (fun (r : Figure2.row) -> r.knee.correct) in
   let off_c = avg (fun (r : Figure2.row) -> r.offline.correct) in
@@ -68,7 +85,6 @@ let run ctx =
     (off_i > 5.0 *. knee_i);
 
   (* ---- eviction vicinity (Figure 6) ---- *)
-  let f6 = Figure6.run ctx in
   check "over ~half of evicted branches fall below 30% bias in the transition period"
     (Printf.sprintf "%.0f%% below 30%%" (100.0 *. f6.below_30pct))
     (f6.below_30pct > 0.45);
@@ -77,7 +93,6 @@ let run ctx =
     (f6.reversed > 0.08 && f6.reversed < 0.40);
 
   (* ---- MSSP (Figures 7/8) ---- *)
-  let f7 = Figure7.run ctx in
   let avg7 sel = List.fold_left (fun a r -> a +. sel r) 0.0 f7.rows /. 12.0 in
   let c1 = avg7 (fun r -> r.Figure7.closed_1k) in
   let o1 = avg7 (fun r -> r.Figure7.open_1k) in
@@ -92,7 +107,6 @@ let run ctx =
        (List.fold_left (fun a r -> Float.min a r.Figure7.open_1k) infinity f7.rows))
     (List.exists (fun r -> r.Figure7.open_1k < 1.0) f7.rows);
 
-  let f8 = Figure8.run ctx in
   let avg8 sel = List.fold_left (fun a r -> a +. sel r) 0.0 f8.rows /. 12.0 in
   let l0 = avg8 (fun r -> r.Figure8.latency0) in
   let l5 = avg8 (fun r -> r.Figure8.latency_100k) in

@@ -1,4 +1,4 @@
-type t = { seed : int; scale : float; tau : int }
+type t = { seed : int; scale : float; tau : int; jobs : int }
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -15,10 +15,14 @@ let default =
     seed = env_int "RS_SEED" 42;
     scale = env_float "RS_SCALE" 0.25;
     tau = env_int "RS_TAU" Rs_workload.Benchmark.default_tau;
+    jobs = max 1 (env_int "RS_JOBS" (Domain.recommended_domain_count ()));
   }
 
-let create ?(seed = default.seed) ?(scale = default.scale) ?(tau = default.tau) () =
-  { seed; scale; tau }
+let create ?(seed = default.seed) ?(scale = default.scale) ?(tau = default.tau)
+    ?(jobs = default.jobs) () =
+  { seed; scale; tau; jobs = max 1 jobs }
+
+let pool t = Rs_util.Pool.shared ~jobs:t.jobs
 
 let params_of t p = Rs_core.Params.compress ~factor:t.tau p
 

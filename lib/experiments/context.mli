@@ -9,14 +9,25 @@ type t = {
   seed : int;
   scale : float;  (** Population scale in (0, 1]; see {!Rs_workload.Benchmark.build}. *)
   tau : int;  (** Time-compression factor; 1 = paper-exact time. *)
+  jobs : int;
+      (** Parallelism width for the experiment runners; >= 1.  [jobs]
+          never affects results — every experiment is deterministic in
+          [(seed, scale, tau)] alone — only how many domains compute
+          them. *)
 }
 
 val default : t
-(** seed 42, scale 0.25 and tau {!Rs_workload.Benchmark.default_tau},
-    overridable through the [RS_SEED], [RS_SCALE] and [RS_TAU]
-    environment variables. *)
+(** seed 42, scale 0.25, tau {!Rs_workload.Benchmark.default_tau} and
+    jobs {!Domain.recommended_domain_count}, overridable through the
+    [RS_SEED], [RS_SCALE], [RS_TAU] and [RS_JOBS] environment
+    variables. *)
 
-val create : ?seed:int -> ?scale:float -> ?tau:int -> unit -> t
+val create : ?seed:int -> ?scale:float -> ?tau:int -> ?jobs:int -> unit -> t
+
+val pool : t -> Rs_util.Pool.t
+(** The process-wide work pool sized to this context's [jobs] (see
+    {!Rs_util.Pool.shared}).  With [jobs = 1] the pool runs everything
+    on the calling domain in input order. *)
 
 val params : t -> Rs_core.Params.t
 (** Table 2 parameters on the context's compressed clock. *)

@@ -13,7 +13,7 @@ type t = { rows : row list }
 
 let run ctx =
   let rows =
-    List.map
+    Rs_util.Pool.map_ordered (Context.pool ctx)
       (fun (spec : W.t) ->
         let inst = W.instantiate spec ~seed:ctx.Context.seed in
         let s =
@@ -28,9 +28,9 @@ let run ctx =
             (if s.squashes = 0 then 1.0
              else float_of_int s.violated_branches /. float_of_int s.squashes);
         })
-      W.all
+      (Array.of_list W.all)
   in
-  { rows }
+  { rows = Array.to_list rows }
 
 let render t =
   let tbl =

@@ -4,8 +4,7 @@ let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
 let f = Printf.sprintf "%.6f"
 
-let figure2 ctx dir =
-  let t = Figure2.run ctx in
+let figure2 (t : Figure2.t) dir =
   let curves = Csv.create ~header:[ "benchmark"; "point"; "correct_rate"; "incorrect_rate" ] in
   let points =
     Csv.create ~header:[ "benchmark"; "kind"; "window"; "correct_rate"; "incorrect_rate" ]
@@ -31,8 +30,7 @@ let figure2 ctx dir =
   Csv.save points p2;
   [ p1; p2 ]
 
-let figure5 ctx dir =
-  let t = Figure5.run ctx in
+let figure5 (t : Figure5.t) dir =
   let csv =
     Csv.create ~header:[ "benchmark"; "configuration"; "correct_rate"; "incorrect_rate" ]
   in
@@ -49,8 +47,7 @@ let figure5 ctx dir =
   Csv.save csv p;
   [ p ]
 
-let figure6 ctx dir =
-  let t = Figure6.run ctx in
+let figure6 (t : Figure6.t) dir =
   let csv = Csv.create ~header:[ "bin_low"; "bin_high"; "evictions" ] in
   List.iter
     (fun ((lo, hi), count) -> Csv.add_row csv [ f lo; f hi; string_of_int count ])
@@ -59,8 +56,7 @@ let figure6 ctx dir =
   Csv.save csv p;
   [ p ]
 
-let figure7 ctx dir =
-  let t = Figure7.run ctx in
+let figure7 (t : Figure7.t) dir =
   let csv =
     Csv.create
       ~header:[ "benchmark"; "closed_1k"; "open_1k"; "closed_10k"; "open_10k" ]
@@ -74,8 +70,7 @@ let figure7 ctx dir =
   Csv.save csv p;
   [ p ]
 
-let figure8 ctx dir =
-  let t = Figure8.run ctx in
+let figure8 (t : Figure8.t) dir =
   let csv =
     Csv.create ~header:[ "benchmark"; "latency_0"; "latency_1e5"; "latency_1e6" ]
   in
@@ -89,5 +84,19 @@ let figure8 ctx dir =
 
 let run ctx ~dir =
   ensure_dir dir;
-  List.concat
-    [ figure2 ctx dir; figure5 ctx dir; figure6 ctx dir; figure7 ctx dir; figure8 ctx dir ]
+  (* Compute the five series in parallel (each also fans out internally
+     and shares the artifact cache), then write in the fixed order. *)
+  match
+    Rs_util.Pool.run_all (Context.pool ctx)
+      [
+        (fun () -> `F2 (Figure2.run ctx));
+        (fun () -> `F5 (Figure5.run ctx));
+        (fun () -> `F6 (Figure6.run ctx));
+        (fun () -> `F7 (Figure7.run ctx));
+        (fun () -> `F8 (Figure8.run ctx));
+      ]
+  with
+  | [ `F2 f2; `F5 f5; `F6 f6; `F7 f7; `F8 f8 ] ->
+    List.concat
+      [ figure2 f2 dir; figure5 f5 dir; figure6 f6 dir; figure7 f7 dir; figure8 f8 dir ]
+  | _ -> assert false

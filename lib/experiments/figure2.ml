@@ -29,10 +29,8 @@ let downsample arr n =
 
 let run_benchmark ctx bm =
   let windows = Context.windows ctx in
-  let pop, cfg = Context.build ctx bm ~input:Ref in
-  let eval = Profile.collect ~windows pop cfg in
-  let train_pop, train_cfg = Context.build ctx bm ~input:Train in
-  let train = Profile.collect ~windows train_pop train_cfg in
+  let eval = Cache.profile ~windows ctx bm ~input:Ref in
+  let train = Cache.profile ~windows ctx bm ~input:Train in
   let knee =
     let p = Pareto.at_threshold eval ~threshold in
     { correct = Pareto.correct_rate eval p; incorrect = Pareto.incorrect_rate eval p }
@@ -53,7 +51,11 @@ let run_benchmark ctx bm =
   in
   { benchmark = bm.name; knee; offline; window_points; curve }
 
-let run ctx = { rows = List.map (run_benchmark ctx) BM.all }
+let run ctx =
+  let rows =
+    Rs_util.Pool.map_ordered (Context.pool ctx) (run_benchmark ctx) (Array.of_list BM.all)
+  in
+  { rows = Array.to_list rows }
 
 let fmt_point (p : point) =
   Printf.sprintf "(%5.2f%% @ %8.5f%%)" (p.correct *. 100.0) (p.incorrect *. 100.0)

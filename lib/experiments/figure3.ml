@@ -9,11 +9,11 @@ let block = 1_000
 
 let run ?(benchmark = "gap") ?(count = 5) ctx =
   let bm = Rs_workload.Benchmark.find benchmark in
-  let pop, cfg = Context.build ctx bm ~input:Ref in
+  let pop, cfg = Cache.build ctx bm ~input:Ref in
   (* Pass 1: find branches that look invariant early (first window ~100%
-     biased) but are not biased over their whole run. *)
-  let windows = [| 20_000 |] in
-  let profile = Profile.collect ~windows pop cfg in
+     biased) but are not biased over their whole run.  The profile comes
+     from the shared cache (one collection serves figures 2, 3 and 5). *)
+  let profile = Cache.profile ~windows:[| 20_000 |] ctx bm ~input:Ref in
   let candidates = ref [] in
   for b = 0 to Profile.n_branches profile - 1 do
     let early = Profile.counts_in_window profile b ~window:20_000 in

@@ -16,8 +16,7 @@ type bench_row = {
 type t = { rows : bench_row list; variant_order : string list }
 
 let run_benchmark ctx bm =
-  let pop, cfg = Context.build ctx bm ~input:Ref in
-  let profile = Profile.collect pop cfg in
+  let profile = Cache.profile ctx bm ~input:Ref in
   let st = Pareto.at_threshold profile ~threshold:0.99 in
   let self_training =
     {
@@ -28,17 +27,17 @@ let run_benchmark ctx bm =
   let by_variant =
     List.map
       (fun (v : V.t) ->
-        let r = Engine.run pop cfg (Context.params_of ctx v.params) in
+        let r = Cache.run ctx bm ~input:Ref (Context.params_of ctx v.params) in
         (v.key, { correct = Engine.correct_rate r; incorrect = Engine.incorrect_rate r }))
       V.all
   in
   { benchmark = bm.name; self_training; by_variant }
 
 let run ctx =
-  {
-    rows = List.map (run_benchmark ctx) BM.all;
-    variant_order = List.map (fun (v : V.t) -> v.key) V.all;
-  }
+  let rows =
+    Rs_util.Pool.map_ordered (Context.pool ctx) (run_benchmark ctx) (Array.of_list BM.all)
+  in
+  { rows = Array.to_list rows; variant_order = List.map (fun (v : V.t) -> v.key) V.all }
 
 let averages t =
   let n = float_of_int (List.length t.rows) in

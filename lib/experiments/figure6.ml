@@ -8,22 +8,30 @@ type t = {
 }
 
 let run ctx =
-  (* Aggregate eviction-vicinity data across all benchmarks. *)
+  (* Aggregate eviction-vicinity data across all benchmarks.  The watches
+     fan out over the pool (the eviction watch replays the stream with an
+     observer hook, so only the build is shareable); the fold below stays
+     in benchmark order, so the aggregate is jobs-independent. *)
+  let watches =
+    Rs_util.Pool.map_ordered (Context.pool ctx)
+      (fun (bm : BM.t) ->
+        let pop, cfg = Cache.build ctx bm ~input:Ref in
+        Rs_sim.Eviction_watch.run ~per_static:true pop cfg (Context.params ctx))
+      (Array.of_list BM.all)
+  in
   let hist = Rs_util.Histogram.create ~bins:20 () in
   let samples = ref 0 in
   let below = ref 0.0 in
   let reversed = ref 0.0 in
-  List.iter
-    (fun (bm : BM.t) ->
-      let pop, cfg = Context.build ctx bm ~input:Ref in
-      let w = Rs_sim.Eviction_watch.run ~per_static:true pop cfg (Context.params ctx) in
+  Array.iter
+    (fun (w : Rs_sim.Eviction_watch.t) ->
       samples := !samples + w.samples;
       below := !below +. (w.fraction_below_30pct *. float_of_int w.samples);
       reversed := !reversed +. (w.fraction_reversed *. float_of_int w.samples);
       List.iter
         (fun ((lo, _), count) -> Rs_util.Histogram.add_many hist (lo +. 0.01) count)
         (Rs_util.Histogram.to_list w.histogram))
-    BM.all;
+    watches;
   let n = float_of_int (max 1 !samples) in
   {
     samples = !samples;

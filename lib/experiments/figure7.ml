@@ -25,7 +25,7 @@ let mssp_params ~monitor ~closed =
 
 let run ctx =
   let rows =
-    List.map
+    Rs_util.Pool.map_ordered (Context.pool ctx)
       (fun (spec : W.t) ->
         let inst = W.instantiate spec ~seed:ctx.Context.seed in
         let go ~monitor ~closed =
@@ -44,9 +44,9 @@ let run ctx =
           squashes_closed = c1.squashes;
           squashes_open = o1.squashes;
         })
-      W.all
+      (Array.of_list W.all)
   in
-  { rows }
+  { rows = Array.to_list rows }
 
 let render t =
   let tbl =

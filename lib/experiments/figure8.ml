@@ -8,7 +8,7 @@ type t = { rows : row list }
 
 let run ctx =
   let rows =
-    List.map
+    Rs_util.Pool.map_ordered (Context.pool ctx)
       (fun (spec : W.t) ->
         let inst = W.instantiate spec ~seed:ctx.Context.seed in
         let go latency =
@@ -24,9 +24,9 @@ let run ctx =
           latency_100k = go 100_000;
           latency_1m = go 1_000_000;
         })
-      W.all
+      (Array.of_list W.all)
   in
-  { rows }
+  { rows = Array.to_list rows }
 
 let render t =
   let tbl =

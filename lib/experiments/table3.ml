@@ -7,14 +7,13 @@ type t = { rows : row list; scale : float }
 
 let run ctx =
   let rows =
-    List.map
+    Rs_util.Pool.map_ordered (Context.pool ctx)
       (fun (bm : BM.t) ->
-        let pop, cfg = Context.build ctx bm ~input:Ref in
-        let r = Rs_sim.Engine.run pop cfg (Context.params ctx) in
+        let r = Cache.run ctx bm ~input:Ref (Context.params ctx) in
         { benchmark = bm.name; measured = Rs_sim.Accounting.of_result r; paper = bm.paper })
-      BM.all
+      (Array.of_list BM.all)
   in
-  { rows; scale = ctx.scale }
+  { rows = Array.to_list rows; scale = ctx.scale }
 
 let render t =
   let tbl =

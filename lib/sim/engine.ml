@@ -21,23 +21,37 @@ let run ?observer ?on_transition pop config params =
   let incorrect = ref 0 in
   let last_misspec = ref 0 in
   let gaps = Rs_util.Running_stats.create () in
-  let score (ev : Rs_behavior.Stream.event) =
-    let d = Reactive.deployed controller ev.branch in
-    if d.Types.speculate then begin
+  let score (ev : Rs_behavior.Stream.event) (d : Types.decision) =
+    if d.speculate then begin
       if ev.taken = d.direction then incr correct
       else begin
         incr incorrect;
         Rs_util.Running_stats.add gaps (float_of_int (ev.instr - !last_misspec));
         last_misspec := ev.instr
       end
-    end;
-    (match observer with Some f -> f ev d | None -> ());
-    Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
+    end
+  in
+  (* The optional hook is resolved once, outside the event loop: the
+     common no-observer path pays neither the match nor the extra call.
+     Hook order is part of the contract — the observer sees the event
+     after scoring but before the controller does. *)
+  let consume =
+    match observer with
+    | None ->
+      fun ev ->
+        score ev (Reactive.deployed controller ev.branch);
+        Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
+    | Some f ->
+      fun ev ->
+        let d = Reactive.deployed controller ev.branch in
+        score ev d;
+        f ev d;
+        Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
   in
   Log.debug (fun m ->
       m "run: %d branches, %d events, ipb %.1f" n config.Rs_behavior.Stream.length
         config.instr_per_branch);
-  Rs_behavior.Stream.iter pop config score;
+  Rs_behavior.Stream.iter pop config consume;
   Log.debug (fun m ->
       m "done: correct %d (%.2f%%), incorrect %d (%.4f%%)" !correct
         (100.0 *. float_of_int !correct /. float_of_int config.Rs_behavior.Stream.length)

@@ -29,19 +29,19 @@ let collect ?(windows = Static.windows) pop config =
     windows;
   let n_windows = Array.length windows in
   let n = Rs_behavior.Population.size pop in
-  let execs = Array.make n 0 in
   let taken = Array.make n 0 in
   let window_taken = Array.init n_windows (fun _ -> Array.make n (-1)) in
   let next_window = Array.make n 0 in
-  Rs_behavior.Stream.iter pop config (fun ev ->
-      let b = ev.branch in
-      if ev.taken then taken.(b) <- taken.(b) + 1;
-      execs.(b) <- execs.(b) + 1;
-      let w = next_window.(b) in
-      if w < n_windows && execs.(b) = windows.(w) then begin
-        window_taken.(w).(b) <- taken.(b);
-        next_window.(b) <- w + 1
-      end);
+  let execs =
+    Rs_behavior.Stream.iter_counted pop config (fun ev ->
+        let b = ev.branch in
+        if ev.taken then taken.(b) <- taken.(b) + 1;
+        let w = next_window.(b) in
+        if w < n_windows && ev.exec_index + 1 = windows.(w) then begin
+          window_taken.(w).(b) <- taken.(b);
+          next_window.(b) <- w + 1
+        end)
+  in
   (* Branches that never reached a checkpoint: the "window" is their whole
      life, so a window-trained policy sees exactly their full counts. *)
   for b = 0 to n - 1 do

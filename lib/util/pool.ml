@@ -1,0 +1,125 @@
+(* A hand-rolled fixed-size domain pool: one shared FIFO of thunks, one
+   mutex, one condition.  The condition is broadcast both when work
+   arrives and when a task completes, so waiters double as helpers: a
+   caller (or a nested caller) blocked on its own results pops and runs
+   whatever task is queued next instead of sleeping.  That "help while
+   you wait" rule is what makes nested [map_ordered] calls on one pool
+   deadlock-free — some domain is always executing a task, and every
+   task eventually signals its map's completion counter. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  work : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let task =
+      let rec take () =
+        match Queue.take_opt t.work with
+        | Some task -> Some task
+        | None ->
+          if t.live then begin
+            Condition.wait t.wake t.mutex;
+            take ()
+          end
+          else None
+      in
+      take ()
+    in
+    Mutex.unlock t.mutex;
+    match task with
+    | Some task ->
+      task ();
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      work = Queue.create ();
+      live = true;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let close t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map_ordered (type b) t f arr =
+  let n = Array.length arr in
+  if t.jobs = 1 || n <= 1 then Array.map f arr
+  else begin
+    let results : b option array = Array.make n None in
+    let errors = Array.make n None in
+    let pending = ref n in
+    let step i =
+      (try results.(i) <- Some (f arr.(i)) with e -> errors.(i) <- Some e);
+      Mutex.lock t.mutex;
+      decr pending;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (fun () -> step i) t.work
+    done;
+    Condition.broadcast t.wake;
+    (* The caller is the pool's jobs-th worker; while its elements are
+       outstanding it drains the queue (tasks of any in-flight map). *)
+    while !pending > 0 do
+      match Queue.take_opt t.work with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      | None -> Condition.wait t.wake t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let run_all t thunks =
+  Array.to_list (map_ordered t (fun thunk -> thunk ()) (Array.of_list thunks))
+
+(* Process-wide pool, sized by the most recent request. *)
+let shared_mutex = Mutex.create ()
+let shared_pool : t option ref = ref None
+
+let shared ~jobs =
+  let jobs = max 1 jobs in
+  Mutex.lock shared_mutex;
+  let pool =
+    match !shared_pool with
+    | Some p when p.jobs = jobs -> p
+    | prev ->
+      (match prev with Some p -> close p | None -> ());
+      let p = create ~jobs () in
+      shared_pool := Some p;
+      p
+  in
+  Mutex.unlock shared_mutex;
+  pool

@@ -1,0 +1,52 @@
+(** Fixed-size work pool over OCaml 5 domains.
+
+    A pool owns [jobs - 1] worker domains blocked on a shared task queue;
+    the caller of {!map_ordered} is the remaining worker, so a pool sized
+    [jobs] computes with exactly [jobs]-way parallelism and a pool sized 1
+    never spawns a domain at all (the map degenerates to [Array.map],
+    byte-for-byte).
+
+    Tasks must be independent: they may run in any order and on any
+    domain.  Results are always delivered in input order, so a pure
+    element function makes [map_ordered] equivalent to [Array.map]
+    regardless of [jobs] — the property the experiment layer relies on
+    for its [--jobs]-independence guarantee.
+
+    Nested use is supported: a task may itself call {!map_ordered} on the
+    same pool.  While an inner call waits for its results it helps drain
+    the shared queue (executing whatever task is next, including tasks of
+    other in-flight maps), so nesting adds no deadlock and wastes no
+    worker. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] defaults
+    to {!Domain.recommended_domain_count}; values below 1 are clamped to
+    1.  Pools are independent; prefer {!shared} for the process-wide
+    one. *)
+
+val jobs : t -> int
+(** The parallelism width this pool was created with. *)
+
+val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_ordered t f arr] applies [f] to every element, running up to
+    [jobs t] applications concurrently, and returns the results in input
+    order.  If any application raises, the exception of the
+    {e lowest-indexed} failing element is re-raised in the caller after
+    all scheduled work settles (deterministic regardless of which worker
+    failed first); the pool remains usable. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Heterogeneous fan-out: run every thunk (concurrently, order
+    unspecified) and return their results in list order.  Same exception
+    contract as {!map_ordered}. *)
+
+val close : t -> unit
+(** Shut the workers down and join their domains.  Must not be called
+    while a {!map_ordered} is in flight.  Idempotent. *)
+
+val shared : jobs:int -> t
+(** The process-wide pool, created on first use.  Asking for a different
+    [jobs] than the live shared pool has closes it and creates a fresh
+    one, so a long-lived process follows the most recent request. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("behavior", Test_behavior.suite);
       ("core-static", Test_static.suite);
       ("core-reactive", Test_reactive.suite);

@@ -169,6 +169,37 @@ let test_extension_values () =
     (open_loop.incorrect >= reactive.incorrect);
   Alcotest.(check bool) "reactive evicts changed values" true (reactive.evictions > 0)
 
+(* --- parallel determinism and the artifact cache --------------------------- *)
+
+let test_jobs_determinism () =
+  (* Cache.reset between runs so jobs=4 recomputes instead of replaying
+     jobs=1's cached artifacts. *)
+  let run jobs =
+    E.Cache.reset ();
+    let ctx = E.Context.create ~seed:42 ~scale:0.02 ~tau:10 ~jobs () in
+    let r = (E.Figure5.render (E.Figure5.run ctx), E.Figure2.render (E.Figure2.run ctx)) in
+    E.Cache.reset ();
+    r
+  in
+  let f5_seq, f2_seq = run 1 in
+  let f5_par, f2_par = run 4 in
+  Alcotest.(check string) "figure5 identical at jobs=1 and jobs=4" f5_seq f5_par;
+  Alcotest.(check string) "figure2 identical at jobs=1 and jobs=4" f2_seq f2_par
+
+let test_cache_sharing () =
+  E.Cache.reset ();
+  Fun.protect ~finally:E.Cache.reset @@ fun () ->
+  let bm = List.hd Rs_workload.Benchmark.all in
+  let p1 = E.Cache.profile ctx bm ~input:Rs_workload.Benchmark.Ref in
+  let p2 = E.Cache.profile ctx bm ~input:Rs_workload.Benchmark.Ref in
+  Alcotest.(check bool) "repeat key returns the same physical profile" true (p1 == p2);
+  ignore (E.Figure2.run ctx);
+  ignore (E.Figure5.run ctx);
+  let s = E.Cache.stats () in
+  Alcotest.(check bool) "profiles shared across experiments" true (s.profile_hits > 0);
+  Alcotest.(check bool) "builds shared across experiments" true (s.build_hits > 0);
+  Alcotest.(check bool) "hit rate positive" true (E.Cache.hit_rate s > 0.0)
+
 (* --- ablations metadata ---------------------------------------------------- *)
 
 let test_ablations_subset () =
@@ -192,5 +223,7 @@ let suite =
     Alcotest.test_case "figure6" `Slow test_figure6;
     Alcotest.test_case "figure9" `Slow test_figure9;
     Alcotest.test_case "extension values" `Slow test_extension_values;
+    Alcotest.test_case "jobs determinism" `Slow test_jobs_determinism;
+    Alcotest.test_case "cache sharing" `Slow test_cache_sharing;
     Alcotest.test_case "ablations subset" `Quick test_ablations_subset;
   ]

@@ -1,0 +1,104 @@
+module Pool = Rs_util.Pool
+
+(* Uneven per-item work so completion order differs from submission
+   order under contention: map_ordered must still return results in
+   input order. *)
+let busy n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc * 7) + i
+  done;
+  !acc
+
+let test_ordering () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  let input = Array.init 64 (fun i -> i) in
+  let out =
+    Pool.map_ordered pool
+      (fun i ->
+        ignore (busy (if i mod 3 = 0 then 50_000 else 100));
+        i * i)
+      input
+  in
+  Alcotest.(check (array int)) "squares in input order"
+    (Array.map (fun i -> i * i) input)
+    out
+
+let test_exception_propagation () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  let input = Array.init 32 (fun i -> i) in
+  (* several items fail; the lowest failing index (5) must win so the
+     raised exception is deterministic *)
+  let raised =
+    try
+      ignore
+        (Pool.map_ordered pool
+           (fun i ->
+             ignore (busy 1_000);
+             if i mod 5 = 0 && i > 0 then failwith (Printf.sprintf "boom %d" i);
+             i)
+           input);
+      None
+    with Failure msg -> Some msg
+  in
+  Alcotest.(check (option string)) "lowest failing index wins" (Some "boom 5") raised;
+  (* a failed map must leave the pool usable *)
+  let out = Pool.map_ordered pool (fun i -> i + 1) input in
+  Alcotest.(check int) "pool survives a failure" 32 out.(31)
+
+let test_reuse_and_nesting () =
+  let pool = Pool.create ~jobs:3 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  (* repeated maps on one pool *)
+  for round = 1 to 5 do
+    let out = Pool.map_ordered pool (fun i -> i * round) (Array.init 16 (fun i -> i)) in
+    Alcotest.(check int) "reuse round" (15 * round) out.(15)
+  done;
+  (* nested map_ordered on the same pool: the outer tasks call back into
+     the pool while holding worker slots — the caller-helps queue must
+     not deadlock *)
+  let out =
+    Pool.map_ordered pool
+      (fun i ->
+        let inner = Pool.map_ordered pool (fun j -> (i * 10) + j) (Array.init 8 (fun j -> j)) in
+        Array.fold_left ( + ) 0 inner)
+      (Array.init 6 (fun i -> i))
+  in
+  let expected = Array.init 6 (fun i -> (i * 80) + 28) in
+  Alcotest.(check (array int)) "nested maps" expected out
+
+let test_sequential_path () =
+  let pool = Pool.create ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  Alcotest.(check int) "jobs clamped" 1 (Pool.jobs pool);
+  (* jobs=1 must run in the calling domain, in order *)
+  let trace = ref [] in
+  let out =
+    Pool.map_ordered pool
+      (fun i ->
+        trace := i :: !trace;
+        i)
+      (Array.init 8 (fun i -> i))
+  in
+  Alcotest.(check (list int)) "strict left-to-right" [ 7; 6; 5; 4; 3; 2; 1; 0 ] !trace;
+  Alcotest.(check (array int)) "identity" (Array.init 8 (fun i -> i)) out
+
+let test_run_all () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  let out =
+    Pool.run_all pool
+      [ (fun () -> "a"); (fun () -> ignore (busy 10_000); "b"); (fun () -> "c") ]
+  in
+  Alcotest.(check (list string)) "thunk results in order" [ "a"; "b"; "c" ] out
+
+let suite =
+  [
+    Alcotest.test_case "ordering under contention" `Quick test_ordering;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "reuse and nesting" `Quick test_reuse_and_nesting;
+    Alcotest.test_case "sequential path" `Quick test_sequential_path;
+    Alcotest.test_case "run_all" `Quick test_run_all;
+  ]
