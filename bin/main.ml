@@ -35,12 +35,34 @@ let ctx_term =
     let doc = "Print artifact-cache hit/miss counters to stderr after the run." in
     Arg.(value & flag & info [ "cache-stats" ] ~doc)
   in
-  let make scale seed tau jobs cache_stats =
+  let metrics =
+    let doc =
+      "Print the metrics-registry summary (controller transition counts per state arc, \
+       engine event totals, cache hits/misses, pool activity) to stderr after the run."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let trace =
+    let doc =
+      "Write structured JSONL trace events (controller transitions, engine-run summaries, \
+       pool task start/stop, cache and build activity) to $(docv); see README \
+       'Observability' for the event schema."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let make scale seed tau jobs cache_stats metrics trace =
     if cache_stats then
       at_exit (fun () -> prerr_endline (E.Cache.describe (E.Cache.stats ())));
+    if metrics then
+      at_exit (fun () -> prerr_string (Rs_obs.Metrics.render_summary ()));
+    (match trace with
+    | Some file ->
+      Rs_obs.Trace.to_file file;
+      at_exit Rs_obs.Trace.stop
+    | None -> ());
     E.Context.create ~seed ~scale ~tau ~jobs ()
   in
-  Term.(const make $ scale $ seed $ tau $ jobs $ cache_stats)
+  Term.(const make $ scale $ seed $ tau $ jobs $ cache_stats $ metrics $ trace)
 
 let with_header name f ctx =
   Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx);

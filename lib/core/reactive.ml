@@ -79,9 +79,25 @@ let selections t b = t.states.(b).selections
 let evictions t b = t.states.(b).evictions
 let touched t b = t.states.(b).execs > 0
 
+(* One counter per state arc of Figure 4(b); transitions are orders of
+   magnitude rarer than observations, so the stripe increment is noise. *)
+let m_selected = Rs_obs.Metrics.counter "reactive.transitions.selected"
+let m_unbiased = Rs_obs.Metrics.counter "reactive.transitions.declared-unbiased"
+let m_evicted = Rs_obs.Metrics.counter "reactive.transitions.evicted"
+let m_revisited = Rs_obs.Metrics.counter "reactive.transitions.revisited"
+let m_capped = Rs_obs.Metrics.counter "reactive.transitions.capped"
+
+let arc_counter = function
+  | Types.Selected -> m_selected
+  | Types.Declared_unbiased -> m_unbiased
+  | Types.Evicted -> m_evicted
+  | Types.Revisited -> m_revisited
+  | Types.Capped -> m_capped
+
 let record t branch st instr kind =
   let tr = { Types.branch; instr; exec_index = st.execs; kind } in
   t.transitions_rev <- tr :: t.transitions_rev;
+  Rs_obs.Metrics.incr (arc_counter kind);
   t.on_transition tr
 
 (* Request a code change: it becomes the deployed behaviour

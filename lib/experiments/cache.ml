@@ -21,21 +21,47 @@ let published = Condition.create ()
 
 type 'v slot = In_flight | Ready of 'v | Failed of exn
 
+(* Hit/miss counters are [Atomic.t], not plain ints: the metrics layer
+   reads them concurrently with pool workers bumping them, and the
+   profile-upgrade path below touches [misses] from whichever domain
+   noticed the stale entry. *)
 type ('k, 'v) memo = {
+  kind : string;
   table : ('k, 'v slot) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  m_hits : Rs_obs.Metrics.counter;
+  m_misses : Rs_obs.Metrics.counter;
 }
 
-let memo () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+let memo kind =
+  {
+    kind;
+    table = Hashtbl.create 64;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    m_hits = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.hits" kind);
+    m_misses = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.misses" kind);
+  }
 
-let find_or_compute m key f =
+let count_lookup m ~bench ~hit =
+  Atomic.incr (if hit then m.hits else m.misses);
+  Rs_obs.Metrics.incr (if hit then m.m_hits else m.m_misses);
+  if Rs_obs.Trace.enabled () then
+    Rs_obs.Trace.emit "cache"
+      [
+        S ("kind", m.kind);
+        S ("outcome", (if hit then "hit" else "miss"));
+        S ("bench", bench);
+      ]
+
+let find_or_compute m ~bench key f =
   Mutex.lock lock;
   let rec get () =
     match Hashtbl.find_opt m.table key with
     | Some (Ready v) ->
-      m.hits <- m.hits + 1;
       Mutex.unlock lock;
+      count_lookup m ~bench ~hit:true;
       v
     | Some (Failed e) ->
       Mutex.unlock lock;
@@ -44,9 +70,9 @@ let find_or_compute m key f =
       Condition.wait published lock;
       get ()
     | None ->
-      m.misses <- m.misses + 1;
       Hashtbl.replace m.table key In_flight;
       Mutex.unlock lock;
+      count_lookup m ~bench ~hit:false;
       let slot = match f () with v -> Ready v | exception e -> Failed e in
       Mutex.lock lock;
       Hashtbl.replace m.table key slot;
@@ -63,12 +89,13 @@ type ckey = { seed : int; scale : float; tau : int; bench : string; input : BM.i
 let ckey (ctx : Context.t) (bm : BM.t) input =
   { seed = ctx.seed; scale = ctx.scale; tau = ctx.tau; bench = bm.name; input }
 
-let builds : (ckey, Rs_behavior.Population.t * Rs_behavior.Stream.config) memo = memo ()
-let profiles : (ckey, Rs_sim.Profile.t) memo = memo ()
-let runs : (ckey * Rs_core.Params.t, Rs_sim.Engine.result) memo = memo ()
+let builds : (ckey, Rs_behavior.Population.t * Rs_behavior.Stream.config) memo = memo "build"
+let profiles : (ckey, Rs_sim.Profile.t) memo = memo "profile"
+let runs : (ckey * Rs_core.Params.t, Rs_sim.Engine.result) memo = memo "run"
 
 let build ctx bm ~input =
-  find_or_compute builds (ckey ctx bm input) (fun () -> Context.build ctx bm ~input)
+  find_or_compute builds ~bench:bm.BM.name (ckey ctx bm input) (fun () ->
+      Context.build ctx bm ~input)
 
 (* Every checkpoint window the suite requests anywhere: the paper-time
    windows (figure5's default profiles), the context's compressed windows
@@ -93,7 +120,7 @@ let rec profile ?(windows = Static.windows) ctx bm ~input =
     let pop, cfg = build ctx bm ~input in
     Rs_sim.Profile.collect ~windows:(canonical_windows ctx extra) pop cfg
   in
-  let p = find_or_compute profiles key (fun () -> collect windows) in
+  let p = find_or_compute profiles ~bench:bm.BM.name key (fun () -> collect windows) in
   if covers p windows then p
   else begin
     (* A window outside the canonical set: upgrade the entry in place
@@ -101,9 +128,9 @@ let rec profile ?(windows = Static.windows) ctx bm ~input =
     Mutex.lock lock;
     match Hashtbl.find_opt profiles.table key with
     | Some (Ready stale) when not (covers stale windows) ->
-      profiles.misses <- profiles.misses + 1;
       Hashtbl.replace profiles.table key In_flight;
       Mutex.unlock lock;
+      count_lookup profiles ~bench:bm.BM.name ~hit:false;
       let slot =
         match collect (Array.append (Rs_sim.Profile.windows stale) windows) with
         | v -> Ready v
@@ -122,26 +149,21 @@ let rec profile ?(windows = Static.windows) ctx bm ~input =
   end
 
 let run ctx bm ~input params =
-  find_or_compute runs
+  find_or_compute runs ~bench:bm.BM.name
     (ckey ctx bm input, params)
     (fun () ->
       let pop, cfg = build ctx bm ~input in
-      Rs_sim.Engine.run pop cfg params)
+      Rs_sim.Engine.run ~label:bm.name pop cfg params)
 
 let stats () =
-  Mutex.lock lock;
-  let s =
-    {
-      build_hits = builds.hits;
-      build_misses = builds.misses;
-      profile_hits = profiles.hits;
-      profile_misses = profiles.misses;
-      run_hits = runs.hits;
-      run_misses = runs.misses;
-    }
-  in
-  Mutex.unlock lock;
-  s
+  {
+    build_hits = Atomic.get builds.hits;
+    build_misses = Atomic.get builds.misses;
+    profile_hits = Atomic.get profiles.hits;
+    profile_misses = Atomic.get profiles.misses;
+    run_hits = Atomic.get runs.hits;
+    run_misses = Atomic.get runs.misses;
+  }
 
 let hit_rate s =
   let hits = s.build_hits + s.profile_hits + s.run_hits in
@@ -159,10 +181,10 @@ let reset () =
   Hashtbl.reset builds.table;
   Hashtbl.reset profiles.table;
   Hashtbl.reset runs.table;
-  builds.hits <- 0;
-  builds.misses <- 0;
-  profiles.hits <- 0;
-  profiles.misses <- 0;
-  runs.hits <- 0;
-  runs.misses <- 0;
+  Atomic.set builds.hits 0;
+  Atomic.set builds.misses 0;
+  Atomic.set profiles.hits 0;
+  Atomic.set profiles.misses 0;
+  Atomic.set runs.hits 0;
+  Atomic.set runs.misses 0;
   Mutex.unlock lock

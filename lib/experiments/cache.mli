@@ -22,7 +22,11 @@
     domain-safe: concurrent requests for one key compute it exactly once
     (latecomers block until the first computation publishes).  The cache
     is process-global — [rspec all] threads it through every experiment —
-    and hit/miss counters are exposed for the bench harness. *)
+    and hit/miss counters (lock-free [Atomic.t]s, safe against concurrent
+    pool workers) are exposed for the bench harness.  Every lookup also
+    feeds the [cache.<kind>.hits]/[.misses] counters of
+    {!Rs_obs.Metrics} and, when tracing is on, emits a ["cache"]
+    {!Rs_obs.Trace} event tagged with the artifact kind and benchmark. *)
 
 type stats = {
   build_hits : int;

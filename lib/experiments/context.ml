@@ -30,7 +30,19 @@ let params t = params_of t Rs_core.Params.default
 
 let windows t = Rs_core.Static.windows_for ~tau:t.tau
 
+let m_builds = Rs_obs.Metrics.counter "context.builds"
+
 let build t bm ~input =
+  Rs_obs.Metrics.incr m_builds;
+  if Rs_obs.Trace.enabled () then
+    Rs_obs.Trace.emit "build"
+      [
+        S ("bench", bm.Rs_workload.Benchmark.name);
+        S ("input", (match input with Rs_workload.Benchmark.Ref -> "ref" | Train -> "train"));
+        I ("seed", t.seed);
+        F ("scale", t.scale);
+        I ("tau", t.tau);
+      ];
   Rs_workload.Benchmark.build bm ~input ~seed:t.seed ~scale:t.scale ~tau:t.tau
 
 let describe t = Printf.sprintf "seed=%d scale=%.2f tau=%d" t.seed t.scale t.tau

@@ -44,7 +44,10 @@ val build :
   Rs_workload.Benchmark.t ->
   input:Rs_workload.Benchmark.input ->
   Rs_behavior.Population.t * Rs_behavior.Stream.config
-(** Instantiate a benchmark under this context. *)
+(** Instantiate a benchmark under this context.  Bumps the
+    [context.builds] counter of {!Rs_obs.Metrics} and, when tracing is
+    on, emits a ["build"] {!Rs_obs.Trace} event identifying the
+    benchmark, input and [(seed, scale, tau)]. *)
 
 val describe : t -> string
 (** One-line header string. *)

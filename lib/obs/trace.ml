@@ -1,0 +1,96 @@
+(* JSONL event sink.
+
+   [enabled] is a single atomic bool the instrumented layers read before
+   building an event, so a disabled trace costs one load per potential
+   event (and the instrumented sites are all off the simulator's
+   per-event hot path anyway).  Emission serialises each event into a
+   private buffer and writes the line under a mutex, so events from
+   concurrent pool domains never interleave mid-line. *)
+
+type field =
+  | I of string * int
+  | F of string * float
+  | S of string * string
+  | B of string * bool
+
+type sink = { oc : out_channel; owned : bool }
+
+let sink : sink option ref = ref None
+let sink_enabled = Atomic.make false
+let sink_lock = Mutex.create ()
+
+let enabled () = Atomic.get sink_enabled
+
+let stop () =
+  Mutex.lock sink_lock;
+  Atomic.set sink_enabled false;
+  (match !sink with
+  | Some s ->
+    flush s.oc;
+    if s.owned then close_out_noerr s.oc
+  | None -> ());
+  sink := None;
+  Mutex.unlock sink_lock
+
+let install ~owned oc =
+  stop ();
+  Mutex.lock sink_lock;
+  sink := Some { oc; owned };
+  Atomic.set sink_enabled true;
+  Mutex.unlock sink_lock
+
+let to_channel oc = install ~owned:false oc
+let to_file path = install ~owned:true (open_out path)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_field buf = function
+  | I (k, v) ->
+    add_json_string buf k;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int v)
+  | F (k, v) ->
+    add_json_string buf k;
+    Buffer.add_char buf ':';
+    (* JSON has no inf/nan literals; clamp to null for robustness. *)
+    if Float.is_finite v then Buffer.add_string buf (Printf.sprintf "%.6g" v)
+    else Buffer.add_string buf "null"
+  | S (k, v) ->
+    add_json_string buf k;
+    Buffer.add_char buf ':';
+    add_json_string buf v
+  | B (k, v) ->
+    add_json_string buf k;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (if v then "true" else "false")
+
+let emit ev fields =
+  if enabled () then begin
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "{\"ev\":";
+    add_json_string buf ev;
+    List.iter
+      (fun f ->
+        Buffer.add_char buf ',';
+        add_field buf f)
+      fields;
+    Buffer.add_string buf "}\n";
+    Mutex.lock sink_lock;
+    (match !sink with Some s -> Buffer.output_buffer s.oc buf | None -> ());
+    Mutex.unlock sink_lock
+  end
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,54 @@
+(** Structured run tracing: one JSON object per line (JSONL).
+
+    A process has at most one sink.  With no sink installed every [emit]
+    is a no-op behind a single atomic load, and the instrumented layers
+    additionally guard with {!enabled} so no event (or field list) is
+    even allocated — tracing costs nothing when off.
+
+    Event schema: every line is a flat JSON object with an ["ev"] tag
+    first, then the fields the emitting layer passed, in order.  The
+    suite emits:
+
+    - ["transition"] — controller state-machine transitions:
+      [label] (benchmark), [branch], [kind] (selected / declared-unbiased
+      / evicted / revisited / capped), [instr], [exec_index].  These
+      carry no wall-clock so equal-seed runs produce byte-identical
+      transition streams.
+    - ["engine_run"] — one per simulator run: [label], [events],
+      [instructions], [correct], [incorrect], [wall_s].
+    - ["task"] — pool task lifecycle: [event] (start/stop), [domain],
+      [index].
+    - ["cache"] — artifact-cache lookups: [kind] (build / profile / run),
+      [outcome] (hit/miss), [bench].
+    - ["build"] — population builds: [bench], [input], [seed], [scale],
+      [tau]. *)
+
+type field =
+  | I of string * int
+  | F of string * float  (** non-finite values are emitted as [null] *)
+  | S of string * string
+  | B of string * bool
+
+val to_file : string -> unit
+(** Open [path] (truncating) and route events to it, replacing any
+    previous sink. *)
+
+val to_channel : out_channel -> unit
+(** Route events to a caller-owned channel ({!stop} flushes but does not
+    close it). *)
+
+val enabled : unit -> bool
+(** Whether a sink is installed.  Call sites check this before building
+    an event so disabled tracing allocates nothing. *)
+
+val emit : string -> field list -> unit
+(** [emit ev fields] writes [{"ev":ev, ...fields}] as one line.  Lines
+    from concurrent domains never interleave.  No-op when disabled. *)
+
+val stop : unit -> unit
+(** Flush and uninstall the sink (closing it if [to_file] opened it).
+    Idempotent. *)
+
+val now : unit -> float
+(** Wall-clock seconds (epoch); the one clock the suite stamps
+    [engine_run] events with. *)

@@ -14,8 +14,37 @@ type result = {
   controller : Reactive.t;
 }
 
-let run ?observer ?on_transition pop config params =
+let m_runs = Rs_obs.Metrics.counter "engine.runs"
+let m_events = Rs_obs.Metrics.counter "engine.events"
+let m_instructions = Rs_obs.Metrics.counter "engine.instructions"
+let m_correct = Rs_obs.Metrics.counter "engine.correct"
+let m_incorrect = Rs_obs.Metrics.counter "engine.incorrect"
+
+let h_wall =
+  Rs_obs.Metrics.histogram "engine.wall_seconds" ~bounds:[| 0.01; 0.1; 1.0; 10.0; 60.0 |]
+
+let run ?(label = "") ?observer ?on_transition pop config params =
+  let t0 = Rs_obs.Trace.now () in
   let n = Rs_behavior.Population.size pop in
+  (* Compose the tracing hook outside the event loop; enabled() is
+     sampled once per run, like the observer resolution below. *)
+  let on_transition =
+    if not (Rs_obs.Trace.enabled ()) then on_transition
+    else begin
+      let inner = match on_transition with Some f -> f | None -> fun _ -> () in
+      Some
+        (fun (tr : Types.transition) ->
+          Rs_obs.Trace.emit "transition"
+            [
+              S ("label", label);
+              I ("branch", tr.branch);
+              S ("kind", Types.transition_kind_to_string tr.kind);
+              I ("instr", tr.instr);
+              I ("exec_index", tr.exec_index);
+            ];
+          inner tr)
+    end
+  in
   let controller = Reactive.create ?on_transition ~n_branches:n params in
   let correct = ref 0 in
   let incorrect = ref 0 in
@@ -57,9 +86,27 @@ let run ?observer ?on_transition pop config params =
         (100.0 *. float_of_int !correct /. float_of_int config.Rs_behavior.Stream.length)
         !incorrect
         (100.0 *. float_of_int !incorrect /. float_of_int config.Rs_behavior.Stream.length));
+  let total_instructions = Rs_behavior.Stream.total_instructions config in
+  let wall = Rs_obs.Trace.now () -. t0 in
+  Rs_obs.Metrics.incr m_runs;
+  Rs_obs.Metrics.add m_events config.length;
+  Rs_obs.Metrics.add m_instructions total_instructions;
+  Rs_obs.Metrics.add m_correct !correct;
+  Rs_obs.Metrics.add m_incorrect !incorrect;
+  Rs_obs.Metrics.observe h_wall wall;
+  if Rs_obs.Trace.enabled () then
+    Rs_obs.Trace.emit "engine_run"
+      [
+        S ("label", label);
+        I ("events", config.length);
+        I ("instructions", total_instructions);
+        I ("correct", !correct);
+        I ("incorrect", !incorrect);
+        F ("wall_s", wall);
+      ];
   {
     total_events = config.length;
-    total_instructions = Rs_behavior.Stream.total_instructions config;
+    total_instructions;
     correct = !correct;
     incorrect = !incorrect;
     misspec_gap = gaps;

@@ -16,6 +16,7 @@ type result = {
 }
 
 val run :
+  ?label:string ->
   ?observer:(Rs_behavior.Stream.event -> Rs_core.Types.decision -> unit) ->
   ?on_transition:(Rs_core.Types.transition -> unit) ->
   Rs_behavior.Population.t ->
@@ -24,7 +25,9 @@ val run :
   result
 (** Run to completion.  [observer] sees every event with the decision it
     was scored against; [on_transition] fires at every controller
-    transition.  Both default to no-ops. *)
+    transition.  Both default to no-ops.  [label] (default empty) tags
+    this run's {!Rs_obs.Trace} events — transitions and the end-of-run
+    [engine_run] summary — and costs nothing when tracing is off. *)
 
 val correct_rate : result -> float
 val incorrect_rate : result -> float

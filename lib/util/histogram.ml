@@ -42,6 +42,15 @@ let fraction_below t x =
     (float_of_int !below +. partial) /. float_of_int t.total
   end
 
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || bins a <> bins b then
+    invalid_arg "Histogram.merge: histograms must share lo, hi and bin count";
+  {
+    a with
+    counts = Array.init (bins a) (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+  }
+
 let to_list t = List.init (bins t) (fun i -> (bin_bounds t i, t.counts.(i)))
 
 let percentile t p =

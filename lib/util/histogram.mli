@@ -28,6 +28,11 @@ val fraction_below : t -> float -> float
 (** [fraction_below t x] estimates the CDF at [x] from bin counts (whole
     bins strictly below [x] plus a linear share of the straddling bin). *)
 
+val merge : t -> t -> t
+(** Bin-wise sum of two histograms over the same range and bin count (the
+    inputs are untouched).  Total count is the sum of the inputs' counts.
+    @raise Invalid_argument if the shapes differ. *)
+
 val to_list : t -> ((float * float) * int) list
 (** All bins with their bounds and counts, in order. *)
 

@@ -16,6 +16,9 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+let m_tasks = Rs_obs.Metrics.counter "pool.tasks"
+let g_jobs = Rs_obs.Metrics.gauge "pool.jobs"
+
 let worker_loop t =
   let rec loop () =
     Mutex.lock t.mutex;
@@ -56,6 +59,7 @@ let create ?jobs () =
     }
   in
   t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Rs_obs.Metrics.set g_jobs jobs;
   t
 
 let jobs t = t.jobs
@@ -76,7 +80,14 @@ let map_ordered (type b) t f arr =
     let errors = Array.make n None in
     let pending = ref n in
     let step i =
+      Rs_obs.Metrics.incr m_tasks;
+      let traced = Rs_obs.Trace.enabled () in
+      let dom = (Domain.self () :> int) in
+      if traced then
+        Rs_obs.Trace.emit "task" [ S ("event", "start"); I ("domain", dom); I ("index", i) ];
       (try results.(i) <- Some (f arr.(i)) with e -> errors.(i) <- Some e);
+      if traced then
+        Rs_obs.Trace.emit "task" [ S ("event", "stop"); I ("domain", dom); I ("index", i) ];
       Mutex.lock t.mutex;
       decr pending;
       Condition.broadcast t.wake;

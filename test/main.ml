@@ -3,6 +3,8 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("util", Test_util.suite);
+      ("props", Test_props.suite);
+      ("obs", Test_obs.suite);
       ("pool", Test_pool.suite);
       ("behavior", Test_behavior.suite);
       ("core-static", Test_static.suite);
@@ -13,4 +15,5 @@ let () =
       ("distill", Test_distill.suite);
       ("mssp", Test_mssp.suite);
       ("experiments", Test_experiments.suite);
+      ("golden", Test_golden.suite);
     ]

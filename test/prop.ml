@@ -1,0 +1,45 @@
+(* A tiny property-based testing helper on top of [Rs_util.Prng].
+
+   [check_prop] drives a seeded generator [count] times through a
+   property and fails (with the case index and a printed counterexample)
+   on the first falsification — deterministic by construction, so a
+   failure reproduces by re-running the suite.  qcheck stays in use
+   elsewhere; this helper exists for properties that want the repo's own
+   PRNG and exact control over the distribution. *)
+
+module Prng = Rs_util.Prng
+
+type 'a gen = Prng.t -> 'a
+
+let int ~lo ~hi : int gen =
+ fun rng ->
+  if hi < lo then invalid_arg "Prop.int: hi < lo";
+  lo + Prng.int rng (hi - lo + 1)
+
+let float_ ~lo ~hi : float gen = fun rng -> lo +. Prng.float rng (hi -. lo)
+let bool : bool gen = Prng.bool
+let pair (g1 : 'a gen) (g2 : 'b gen) : ('a * 'b) gen = fun rng -> (g1 rng, g2 rng)
+
+let array_of ?(min_len = 0) ~max_len (g : 'a gen) : 'a array gen =
+ fun rng ->
+  let n = (int ~lo:min_len ~hi:max_len) rng in
+  Array.init n (fun _ -> g rng)
+
+let list_of ?(min_len = 0) ~max_len (g : 'a gen) : 'a list gen =
+ fun rng -> Array.to_list ((array_of ~min_len ~max_len g) rng)
+
+let check_prop ?(count = 200) ?(seed = 0xC0FFEE) ~name ?print gen prop =
+  let rng = Prng.create seed in
+  for i = 1 to count do
+    let case = gen rng in
+    let ok = try prop case with e -> Alcotest.failf "%s: case %d raised %s" name i
+                                       (Printexc.to_string e)
+    in
+    if not ok then
+      match print with
+      | Some p -> Alcotest.failf "%s: falsified on case %d: %s" name i (p case)
+      | None -> Alcotest.failf "%s: falsified on case %d" name i
+  done
+
+let test ?count ?seed ?print name gen prop =
+  Alcotest.test_case name `Quick (fun () -> check_prop ?count ?seed ~name ?print gen prop)

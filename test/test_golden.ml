@@ -1,0 +1,97 @@
+(* Golden-snapshot regression tests.
+
+   figure2 and table3 run at a small fixed (seed=7, scale=0.02, tau=10)
+   and their full rendered output is diffed byte-for-byte against the
+   checked-in snapshots in test/golden/.  Any change to the controller,
+   the workloads, the simulator or the table renderer that shifts a
+   single digit fails here with a unified diff.
+
+   Regenerating after an intentional change:
+
+     RS_UPDATE_GOLDEN=1 dune runtest --force
+
+   rewrites the snapshot files in the source tree (test/golden/), after
+   which the diff in `git diff` is the reviewable change.  The tests
+   pass vacuously in update mode. *)
+
+module E = Rs_experiments
+
+let ctx () = E.Context.create ~seed:7 ~scale:0.02 ~tau:10 ~jobs:1 ()
+
+(* `dune runtest` executes the binary in _build/default/test (snapshots
+   dep-copied to golden/); `dune exec test/main.exe` runs from the
+   project root (test/golden); the source copies sit three levels above
+   the _build test dir.  Probe all three so both invocations work, and
+   in update mode rewrite every reachable copy — the _build one keeps
+   this run green, the source one is the actual regeneration. *)
+let candidate_dirs =
+  [ "golden"; Filename.concat "test" "golden"; "../../../test/golden" ]
+
+let existing_dirs () =
+  List.filter (fun d -> Sys.file_exists d && Sys.is_directory d) candidate_dirs
+
+let update_mode = Sys.getenv_opt "RS_UPDATE_GOLDEN" = Some "1"
+
+let snapshot_path name =
+  match existing_dirs () with
+  | dir :: _ -> Filename.concat dir name
+  | [] -> Alcotest.failf "no golden snapshot directory found (cwd %s)" (Sys.getcwd ())
+
+let write_snapshot name content =
+  match existing_dirs () with
+  | [] -> Alcotest.failf "no golden snapshot directory found (cwd %s)" (Sys.getcwd ())
+  | dirs ->
+    List.iter
+      (fun dir ->
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        Printf.printf "updated %s\n%!" path)
+      dirs
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let show_diff expected actual =
+  let el = String.split_on_char '\n' expected and al = String.split_on_char '\n' actual in
+  let buf = Buffer.create 256 in
+  let rec go i el al =
+    match (el, al) with
+    | [], [] -> ()
+    | e :: er, a :: ar ->
+      if e <> a then Buffer.add_string buf (Printf.sprintf "line %d:\n  -%s\n  +%s\n" i e a);
+      go (i + 1) er ar
+    | e :: er, [] ->
+      Buffer.add_string buf (Printf.sprintf "line %d missing:\n  -%s\n" i e);
+      go (i + 1) er []
+    | [], a :: ar ->
+      Buffer.add_string buf (Printf.sprintf "line %d extra:\n  +%s\n" i a);
+      go (i + 1) [] ar
+  in
+  go 1 el al;
+  Buffer.contents buf
+
+let check_golden name content =
+  if update_mode then write_snapshot name content
+  else begin
+    let path = snapshot_path name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing snapshot %s (regenerate with RS_UPDATE_GOLDEN=1)" path;
+    let expected = read_file path in
+    if expected <> content then
+      Alcotest.failf "%s drifted from its snapshot:\n%s(regenerate with RS_UPDATE_GOLDEN=1)"
+        name (show_diff expected content)
+  end
+
+let test_figure2 () = check_golden "figure2.txt" (E.Figure2.render (E.Figure2.run (ctx ())))
+let test_table3 () = check_golden "table3.txt" (E.Table3.render (E.Table3.run (ctx ())))
+
+let suite =
+  [
+    Alcotest.test_case "figure2 golden" `Slow test_figure2;
+    Alcotest.test_case "table3 golden" `Slow test_table3;
+  ]

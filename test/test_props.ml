@@ -1,0 +1,89 @@
+(* Property-based tests (via the Prop helper) for the counting utilities
+   the observability layer depends on: saturating counters, streaming
+   statistics and histograms. *)
+
+module Sat = Rs_util.Sat_counter
+module Stats = Rs_util.Running_stats
+module Hist = Rs_util.Histogram
+
+(* --- Sat_counter: bounds and monotonicity -------------------------------- *)
+
+let gen_sat_trace =
+  Prop.pair (Prop.int ~lo:1 ~hi:10_000)
+    (Prop.list_of ~min_len:1 ~max_len:200 (Prop.int ~lo:(-500) ~hi:500))
+
+let prop_sat_bounds (max, deltas) =
+  let c = Sat.create ~max () in
+  List.for_all
+    (fun d ->
+      Sat.add c d;
+      Sat.value c >= 0 && Sat.value c <= max)
+    deltas
+
+let gen_sat_incrs =
+  Prop.pair (Prop.int ~lo:1 ~hi:10_000)
+    (Prop.list_of ~min_len:1 ~max_len:200 (Prop.int ~lo:0 ~hi:500))
+
+let prop_sat_monotone (max, incrs) =
+  let c = Sat.create ~max () in
+  List.for_all
+    (fun d ->
+      let before = Sat.value c in
+      Sat.add c d;
+      Sat.value c >= before)
+    incrs
+
+(* --- Running_stats vs a naive two-pass reference -------------------------- *)
+
+let naive_mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let naive_variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = naive_mean xs in
+    Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs /. float_of_int (n - 1)
+  end
+
+let gen_samples = Prop.array_of ~min_len:1 ~max_len:300 (Prop.float_ ~lo:(-1000.0) ~hi:1000.0)
+
+let close ?(eps = 1e-6) a b = abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b)
+
+let prop_stats_match xs =
+  let s = Stats.create () in
+  Array.iter (Stats.add s) xs;
+  Stats.count s = Array.length xs
+  && close (Stats.mean s) (naive_mean xs)
+  && close (Stats.variance s) (naive_variance xs)
+
+(* --- Histogram: merge preserves counts ------------------------------------ *)
+
+let gen_two_samples =
+  Prop.pair
+    (Prop.list_of ~max_len:300 (Prop.float_ ~lo:(-0.5) ~hi:1.5))
+    (Prop.list_of ~max_len:300 (Prop.float_ ~lo:(-0.5) ~hi:1.5))
+
+let prop_hist_merge (xs, ys) =
+  let bins = 16 in
+  let mk zs =
+    let h = Hist.create ~bins () in
+    List.iter (Hist.add h) zs;
+    h
+  in
+  let a = mk xs and b = mk ys in
+  let m = Hist.merge a b in
+  Hist.count m = Hist.count a + Hist.count b
+  && List.for_all
+       (fun i -> Hist.bin_count m i = Hist.bin_count a i + Hist.bin_count b i)
+       (List.init bins Fun.id)
+  (* the inputs are untouched *)
+  && Hist.count a = List.length xs
+  && Hist.count b = List.length ys
+
+let suite =
+  [
+    Prop.test "sat counter stays within [0, max]" gen_sat_trace prop_sat_bounds;
+    Prop.test "sat counter monotone under increments" gen_sat_incrs prop_sat_monotone;
+    Prop.test ~count:300 "running stats match two-pass reference" gen_samples prop_stats_match;
+    Prop.test "histogram merge preserves counts" gen_two_samples prop_hist_merge;
+  ]
