@@ -50,19 +50,42 @@ let ctx_term =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let make scale seed tau jobs cache_stats metrics trace =
+  let faults =
+    let doc =
+      "Enable deterministic fault injection from $(docv) (also $(b,RS_FAULTS)), e.g. \
+       'seed=7,rate=0.4,max_raises=2,sites=cache'.  Faults raise or delay at named sites in \
+       the cache, pool and trace layers on a replayable schedule; see README 'Fault \
+       injection & failure semantics'."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let make scale seed tau jobs cache_stats metrics trace faults =
+    let configured =
+      match faults with
+      | Some spec -> Rs_fault.Fault.configure_spec spec
+      | None -> Rs_fault.Fault.configure_from_env ()
+    in
+    (match configured with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "rspec: %s\n" msg;
+      exit 2);
     if cache_stats then
       at_exit (fun () -> prerr_endline (E.Cache.describe (E.Cache.stats ())));
     if metrics then
       at_exit (fun () -> prerr_string (Rs_obs.Metrics.render_summary ()));
     (match trace with
-    | Some file ->
-      Rs_obs.Trace.to_file file;
-      at_exit Rs_obs.Trace.stop
+    | Some file -> (
+      (* Trace.to_file registers its own at_exit flush, so even a run
+         that dies abnormally keeps the tail of its trace. *)
+      try Rs_obs.Trace.to_file file
+      with Rs_obs.Trace.Error msg ->
+        Printf.eprintf "rspec: %s\n" msg;
+        exit 2)
     | None -> ());
     E.Context.create ~seed ~scale ~tau ~jobs ()
   in
-  Term.(const make $ scale $ seed $ tau $ jobs $ cache_stats $ metrics $ trace)
+  Term.(const make $ scale $ seed $ tau $ jobs $ cache_stats $ metrics $ trace $ faults)
 
 let with_header name f ctx =
   Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx);
@@ -96,10 +119,40 @@ let cmd_of (cmd_name, doc, print) =
   let action = with_header cmd_name print in
   Cmd.v (Cmd.info cmd_name ~doc) Term.(const action $ ctx_term)
 
+let m_experiment_failed = Rs_obs.Metrics.counter "experiment.failed"
+
 let all_cmd =
-  let run ctx = List.iter (fun (name, _, print) -> with_header name print ctx) experiments in
+  (* A throwing experiment is isolated: it is recorded in the metrics and
+     trace layers, reported on stderr, and the remaining experiments
+     still run; the exit status turns non-zero at the end.  With nothing
+     failing, stdout is byte-identical to the plain sequential loop. *)
+  let run ctx =
+    let failed = ref [] in
+    List.iter
+      (fun (name, _, print) ->
+        try with_header name print ctx
+        with e ->
+          let msg = Printexc.to_string e in
+          Rs_obs.Metrics.incr m_experiment_failed;
+          if Rs_obs.Trace.enabled () then
+            Rs_obs.Trace.emit "experiment" [ S ("name", name); S ("error", msg) ];
+          Printf.eprintf "rspec: %s failed: %s\n%!" name msg;
+          failed := name :: !failed)
+      experiments;
+    match List.rev !failed with
+    | [] -> ()
+    | names ->
+      Printf.eprintf "rspec: %d/%d experiments failed: %s\n%!" (List.length names)
+        (List.length experiments)
+        (String.concat ", " names);
+      exit 1
+  in
   Cmd.v
-    (Cmd.info "all" ~doc:"Run every table and figure reproduction in paper order")
+    (Cmd.info "all"
+       ~doc:
+         "Run every table and figure reproduction in paper order.  A failing experiment is \
+          isolated and reported on stderr; the rest still run and the exit status is \
+          non-zero.")
     Term.(const run $ ctx_term)
 
 let export_cmd =

@@ -29,4 +29,17 @@ dune build
 echo "== tests (dune runtest) =="
 dune runtest
 
+# The fault stress suite re-runs the figure2/table3 pipeline at --jobs 4
+# under deterministic injected faults (raises in the cache compute
+# bodies, delays in the pool) and asserts byte-identical output once the
+# bounded retries succeed.  Two seeds exercise two failure schedules;
+# any hang is caught by the timeout.
+echo "== fault stress (RS_FAULTS, two seeds) =="
+dune build test/main.exe
+for seed in 1 7; do
+  echo "-- seed=$seed --"
+  RS_FAULTS="seed=$seed,rate=0.8,max_raises=2,sites=cache,delay=0.2,delay_us=300,delay_sites=pool" \
+    timeout 600 ./_build/default/test/main.exe test fault
+done
+
 echo "== ci ok =="

@@ -1,5 +1,6 @@
 module BM = Rs_workload.Benchmark
 module Static = Rs_core.Static
+module Fault = Rs_fault.Fault
 
 type stats = {
   build_hits : int;
@@ -19,7 +20,24 @@ type stats = {
 let lock = Mutex.create ()
 let published = Condition.create ()
 
-type 'v slot = In_flight | Ready of 'v | Failed of exn
+(* Bumped by [reset] under [lock].  A computation records the generation
+   it started under and re-checks before publishing, so a slot computed
+   before a reset can never resurrect into the post-reset table. *)
+let generation = ref 0
+
+(* Transient failures are retried in place: the computing caller invokes
+   the body up to [retry_limit ()] times before giving up, so a blip
+   (I/O hiccup, injected fault) never poisons a key.  A published
+   [Failed] slot records the attempts it consumed; lookups that find an
+   exhausted slot re-raise the stored exception — counted as misses so
+   [--cache-stats] totals add up — rather than re-running a computation
+   that deterministically fails. *)
+let limit = ref 3
+
+let retry_limit () = !limit
+let set_retry_limit n = limit := max 1 n
+
+type 'v slot = In_flight | Ready of 'v | Failed of exn * int (* attempts consumed *)
 
 (* Hit/miss counters are [Atomic.t], not plain ints: the metrics layer
    reads them concurrently with pool workers bumping them, and the
@@ -32,17 +50,34 @@ type ('k, 'v) memo = {
   misses : int Atomic.t;
   m_hits : Rs_obs.Metrics.counter;
   m_misses : Rs_obs.Metrics.counter;
+  m_retries : Rs_obs.Metrics.counter;
 }
 
+(* Every memo registers its clearing thunk so [reset] drops them all —
+   including the private memos the test suite creates. *)
+let resetters : (unit -> unit) list ref = ref [] (* guarded by [lock] *)
+
 let memo kind =
-  {
-    kind;
-    table = Hashtbl.create 64;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    m_hits = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.hits" kind);
-    m_misses = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.misses" kind);
-  }
+  let m =
+    {
+      kind;
+      table = Hashtbl.create 64;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      m_hits = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.hits" kind);
+      m_misses = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.misses" kind);
+      m_retries = Rs_obs.Metrics.counter (Printf.sprintf "cache.%s.retries" kind);
+    }
+  in
+  Mutex.lock lock;
+  resetters :=
+    (fun () ->
+      Hashtbl.reset m.table;
+      Atomic.set m.hits 0;
+      Atomic.set m.misses 0)
+    :: !resetters;
+  Mutex.unlock lock;
+  m
 
 let count_lookup m ~bench ~hit =
   Atomic.incr (if hit then m.hits else m.misses);
@@ -55,7 +90,53 @@ let count_lookup m ~bench ~hit =
         S ("bench", bench);
       ]
 
+let count_retry m ~bench =
+  Rs_obs.Metrics.incr m.m_retries;
+  if Rs_obs.Trace.enabled () then
+    Rs_obs.Trace.emit "cache"
+      [ S ("kind", m.kind); S ("outcome", "retry"); S ("bench", bench) ]
+
+(* Run the compute body with bounded in-place retries, starting from
+   [attempts] already consumed by earlier rounds. *)
+let attempt_body m ~bench ~attempts f =
+  let rec go n =
+    match f () with
+    | v -> Ready v
+    | exception e ->
+      let n = n + 1 in
+      if n >= !limit then Failed (e, n)
+      else begin
+        count_retry m ~bench;
+        go n
+      end
+  in
+  go attempts
+
+(* Publish [slot] for [key] unless a [reset] raced the computation: then
+   the table was already cleared (and may hold post-reset entries), so
+   the stale result is dropped — only our own leftover [In_flight]
+   marker, if any, is removed so nobody waits on it forever. *)
+let publish m key slot ~gen0 =
+  Mutex.lock lock;
+  (if !generation = gen0 then Hashtbl.replace m.table key slot
+   else
+     match Hashtbl.find_opt m.table key with
+     | Some In_flight -> Hashtbl.remove m.table key
+     | _ -> ());
+  Condition.broadcast published;
+  Mutex.unlock lock
+
 let find_or_compute m ~bench key f =
+  (* [compute] is entered with [lock] held and returns with it released. *)
+  let compute ~attempts =
+    Hashtbl.replace m.table key In_flight;
+    let gen0 = !generation in
+    Mutex.unlock lock;
+    count_lookup m ~bench ~hit:false;
+    let slot = attempt_body m ~bench ~attempts f in
+    publish m key slot ~gen0;
+    match slot with Ready v -> v | Failed (e, _) -> raise e | In_flight -> assert false
+  in
   Mutex.lock lock;
   let rec get () =
     match Hashtbl.find_opt m.table key with
@@ -63,22 +144,17 @@ let find_or_compute m ~bench key f =
       Mutex.unlock lock;
       count_lookup m ~bench ~hit:true;
       v
-    | Some (Failed e) ->
+    | Some (Failed (e, attempts)) when attempts >= !limit ->
       Mutex.unlock lock;
+      (* waiters woken on — and later callers finding — an exhausted slot
+         count as misses so the hit/miss totals add up *)
+      count_lookup m ~bench ~hit:false;
       raise e
+    | Some (Failed (_, attempts)) -> compute ~attempts
     | Some In_flight ->
       Condition.wait published lock;
       get ()
-    | None ->
-      Hashtbl.replace m.table key In_flight;
-      Mutex.unlock lock;
-      count_lookup m ~bench ~hit:false;
-      let slot = match f () with v -> Ready v | exception e -> Failed e in
-      Mutex.lock lock;
-      Hashtbl.replace m.table key slot;
-      Condition.broadcast published;
-      Mutex.unlock lock;
-      (match slot with Ready v -> v | Failed e -> raise e | In_flight -> assert false)
+    | None -> compute ~attempts:0
   in
   get ()
 
@@ -93,8 +169,11 @@ let builds : (ckey, Rs_behavior.Population.t * Rs_behavior.Stream.config) memo =
 let profiles : (ckey, Rs_sim.Profile.t) memo = memo "profile"
 let runs : (ckey * Rs_core.Params.t, Rs_sim.Engine.result) memo = memo "run"
 
+let input_tag : BM.input -> string = function Ref -> "ref" | Train -> "train"
+
 let build ctx bm ~input =
   find_or_compute builds ~bench:bm.BM.name (ckey ctx bm input) (fun () ->
+      Fault.hit ~site:"cache.build" ~key:(bm.BM.name ^ "/" ^ input_tag input);
       Context.build ctx bm ~input)
 
 (* Every checkpoint window the suite requests anywhere: the paper-time
@@ -117,6 +196,7 @@ let covers p needed =
 let rec profile ?(windows = Static.windows) ctx bm ~input =
   let key = ckey ctx bm input in
   let collect extra =
+    Fault.hit ~site:"cache.profile" ~key:(bm.BM.name ^ "/" ^ input_tag input);
     let pop, cfg = build ctx bm ~input in
     Rs_sim.Profile.collect ~windows:(canonical_windows ctx extra) pop cfg
   in
@@ -129,18 +209,15 @@ let rec profile ?(windows = Static.windows) ctx bm ~input =
     match Hashtbl.find_opt profiles.table key with
     | Some (Ready stale) when not (covers stale windows) ->
       Hashtbl.replace profiles.table key In_flight;
+      let gen0 = !generation in
       Mutex.unlock lock;
       count_lookup profiles ~bench:bm.BM.name ~hit:false;
       let slot =
-        match collect (Array.append (Rs_sim.Profile.windows stale) windows) with
-        | v -> Ready v
-        | exception e -> Failed e
+        attempt_body profiles ~bench:bm.BM.name ~attempts:0 (fun () ->
+            collect (Array.append (Rs_sim.Profile.windows stale) windows))
       in
-      Mutex.lock lock;
-      Hashtbl.replace profiles.table key slot;
-      Condition.broadcast published;
-      Mutex.unlock lock;
-      (match slot with Ready v -> v | Failed e -> raise e | In_flight -> assert false)
+      publish profiles key slot ~gen0;
+      (match slot with Ready v -> v | Failed (e, _) -> raise e | In_flight -> assert false)
     | _ ->
       (* Another domain upgraded, recomputed or reset the entry while we
          looked: retry from the top (find_or_compute handles waiting). *)
@@ -152,6 +229,10 @@ let run ctx bm ~input params =
   find_or_compute runs ~bench:bm.BM.name
     (ckey ctx bm input, params)
     (fun () ->
+      Fault.hit ~site:"cache.run"
+        ~key:
+          (Printf.sprintf "%s/%s/%04x" bm.BM.name (input_tag input)
+             (Hashtbl.hash params land 0xffff));
       let pop, cfg = build ctx bm ~input in
       Rs_sim.Engine.run ~label:bm.name pop cfg params)
 
@@ -178,13 +259,16 @@ let describe s =
 
 let reset () =
   Mutex.lock lock;
-  Hashtbl.reset builds.table;
-  Hashtbl.reset profiles.table;
-  Hashtbl.reset runs.table;
-  Atomic.set builds.hits 0;
-  Atomic.set builds.misses 0;
-  Atomic.set profiles.hits 0;
-  Atomic.set profiles.misses 0;
-  Atomic.set runs.hits 0;
-  Atomic.set runs.misses 0;
+  incr generation;
+  List.iter (fun clear -> clear ()) !resetters;
+  (* wake any waiter parked on an [In_flight] entry the reset just
+     dropped: it re-checks, finds nothing and recomputes *)
+  Condition.broadcast published;
   Mutex.unlock lock
+
+module Private = struct
+  type nonrec ('k, 'v) memo = ('k, 'v) memo
+
+  let memo = memo
+  let find_or_compute = find_or_compute
+end

@@ -26,7 +26,19 @@
     pool workers) are exposed for the bench harness.  Every lookup also
     feeds the [cache.<kind>.hits]/[.misses] counters of
     {!Rs_obs.Metrics} and, when tracing is on, emits a ["cache"]
-    {!Rs_obs.Trace} event tagged with the artifact kind and benchmark. *)
+    {!Rs_obs.Trace} event tagged with the artifact kind and benchmark.
+
+    Failure semantics: a compute body that raises is retried in place up
+    to {!retry_limit} total attempts (each retry counted in
+    [cache.<kind>.retries]), so a transient failure — an I/O blip, an
+    {!Rs_fault.Fault.Injected} fault whose plan lets retries succeed —
+    never poisons a key.  Only after the budget is exhausted is the
+    exception published; later lookups (and waiters) on such a key
+    re-raise it, counted as misses so the totals add up.  A {!reset}
+    racing an in-flight computation is safe: publication checks a
+    generation counter, so pre-reset results never resurrect into the
+    post-reset table.  Compute bodies consult the [cache.build] /
+    [cache.profile] / [cache.run] fault-injection sites. *)
 
 type stats = {
   build_hits : int;
@@ -78,5 +90,27 @@ val hit_rate : stats -> float
 val describe : stats -> string
 (** One-line [hits/misses] summary per artifact kind. *)
 
+val retry_limit : unit -> int
+(** Total attempts (first try included) a compute body is given before
+    its exception is published.  Default 3. *)
+
+val set_retry_limit : int -> unit
+(** Change {!retry_limit}; values below 1 are clamped to 1. *)
+
 val reset : unit -> unit
-(** Drop every entry and zero the counters (tests and benches). *)
+(** Drop every entry and zero the counters (tests and benches).  Safe
+    against in-flight computations: they complete for their own caller
+    but publish nothing (see the generation check above). *)
+
+(**/**)
+
+module Private : sig
+  type ('k, 'v) memo
+
+  val memo : string -> ('k, 'v) memo
+
+  val find_or_compute : ('k, 'v) memo -> bench:string -> 'k -> (unit -> 'v) -> 'v
+end
+(** Test-only access to the raw memo machinery, so the retry / reset-race
+    semantics can be exercised without simulating benchmarks.  Private
+    memos participate in {!reset}. *)

@@ -1,0 +1,88 @@
+(** Deterministic, seed-driven fault injection.
+
+    The paper's thesis is that reactive control beats assuming good
+    behaviour; the same applies to the runner that reproduces it.  This
+    module turns named injection {e sites} threaded through the
+    concurrency layer — the artifact cache's compute bodies
+    (["cache.build"], ["cache.profile"], ["cache.run"]), the domain pool
+    (["pool.task"], ["pool.worker_start"]) and the trace sink
+    (["trace.write"]) — into raises and delays scheduled by a {!plan}.
+
+    The action at a site is a pure function of
+    [(plan seed, site, key, attempt)], where [attempt] counts how many
+    times that [(site, key)] pair has been consulted: a failure schedule
+    is therefore replayable — the same spec injects the same faults at
+    the same attempts regardless of how domains interleave or what
+    [--jobs] is — and a bug found under seed S reproduces under seed S.
+
+    With no plan configured (the default) a site costs one atomic load.
+
+    Dependency note: {!Rs_util.Pool} and {!Rs_obs.Trace} sit {e below}
+    this library, so they cannot call it directly; each exposes a
+    [fault_hook] ref that {!configure} points at {!hit}. *)
+
+type plan = {
+  seed : int;  (** root of the per-[(site, key, attempt)] decision streams *)
+  rate : float;  (** probability an eligible consult raises *)
+  delay : float;  (** probability an eligible consult sleeps instead *)
+  delay_us : int;  (** maximum sleep, microseconds *)
+  sites : string list;
+      (** site prefixes eligible to raise; [[]] means all sites *)
+  delay_sites : string list;
+      (** site prefixes eligible to delay; [[]] means all sites *)
+  max_raises : int;
+      (** per-[(site, key)] raise budget; once spent, further raise draws
+          pass, so a plan with [max_raises < Cache.retry_limit ()]
+          guarantees every cache retry eventually succeeds *)
+}
+
+val default_plan : plan
+(** [seed 1], everything eligible, [rate] and [delay] 0, unlimited
+    raises: configuring it injects nothing until fields are overridden. *)
+
+exception Injected of { site : string; key : string; attempt : int }
+(** Raised by {!hit} when the plan schedules a fault at this consult. *)
+
+val parse_spec : string -> (plan, string) result
+(** Parse a comma-separated [key=value] spec over {!default_plan}, e.g.
+    ["seed=7,rate=0.4,max_raises=2,sites=cache,delay=0.2,delay_sites=pool:trace"].
+    Site lists are colon-separated prefixes.  Unknown keys and malformed
+    values are reported, not ignored. *)
+
+val configure : plan -> unit
+(** Install [plan], clear the attempt/raise history and point the pool
+    and trace hooks at {!hit}. *)
+
+val configure_spec : string -> (unit, string) result
+(** {!parse_spec} then {!configure}. *)
+
+val env_var : string
+(** ["RS_FAULTS"]. *)
+
+val configure_from_env : unit -> (unit, string) result
+(** {!configure_spec} on [$RS_FAULTS] when set and non-empty; [Ok ()]
+    otherwise. *)
+
+val disable : unit -> unit
+(** Stop injecting and restore the no-op hooks.  The attempt history is
+    kept until the next {!configure} or {!reset}. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Forget every [(site, key)] attempt and raise count, so a subsequent
+    run replays the plan's schedule from the start. *)
+
+val hit : site:string -> key:string -> unit
+(** Consult the plan at [site] for [key]: pass, sleep, or raise
+    {!Injected}.  Each consult bumps the [(site, key)] attempt counter;
+    injected raises and delays feed the [fault.injected] /
+    [fault.delayed] metrics and, when tracing is on, emit a ["fault"]
+    trace event (except at ["trace.write"] itself, which would recurse).
+    No-op when disabled. *)
+
+val injected : unit -> int
+(** Total faults raised since the metrics registry was last reset. *)
+
+val delayed : unit -> int
+(** Total delays injected since the metrics registry was last reset. *)

@@ -5,7 +5,14 @@
    event (and the instrumented sites are all off the simulator's
    per-event hot path anyway).  Emission serialises each event into a
    private buffer and writes the line under a mutex, so events from
-   concurrent pool domains never interleave mid-line. *)
+   concurrent pool domains never interleave mid-line.
+
+   Failure semantics: installing a sink registers one [at_exit] flush,
+   so a run that dies of an uncaught exception still lands the tail of
+   its trace — exactly the lines that matter most.  A write that raises
+   (injected via [fault_hook] or a real [Sys_error] on a full disk /
+   closed channel) drops that whole line, never a partial one, and is
+   counted in [dropped_events] and the [trace.dropped] metric. *)
 
 type field =
   | I of string * int
@@ -13,34 +20,56 @@ type field =
   | S of string * string
   | B of string * bool
 
+exception Error of string
+
 type sink = { oc : out_channel; owned : bool }
 
 let sink : sink option ref = ref None
 let sink_enabled = Atomic.make false
 let sink_lock = Mutex.create ()
+let dropped = Atomic.make 0
+let m_dropped = Metrics.counter "trace.dropped"
+
+(* Injection point for rs_fault, which sits above this library in the
+   dependency graph and so cannot be called directly. *)
+let fault_hook : (site:string -> key:string -> unit) ref = ref (fun ~site:_ ~key:_ -> ())
 
 let enabled () = Atomic.get sink_enabled
+
+let dropped_events () = Atomic.get dropped
 
 let stop () =
   Mutex.lock sink_lock;
   Atomic.set sink_enabled false;
   (match !sink with
   | Some s ->
-    flush s.oc;
+    (try flush s.oc with Sys_error _ -> ());
     if s.owned then close_out_noerr s.oc
   | None -> ());
   sink := None;
   Mutex.unlock sink_lock
+
+let at_exit_registered = ref false
 
 let install ~owned oc =
   stop ();
   Mutex.lock sink_lock;
   sink := Some { oc; owned };
   Atomic.set sink_enabled true;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    (* flush the tail even when the process dies of an uncaught
+       exception — at_exit runs on those too *)
+    at_exit stop
+  end;
   Mutex.unlock sink_lock
 
 let to_channel oc = install ~owned:false oc
-let to_file path = install ~owned:true (open_out path)
+
+let to_file path =
+  match open_out path with
+  | oc -> install ~owned:true oc
+  | exception Sys_error msg -> raise (Error (Printf.sprintf "cannot open trace file: %s" msg))
 
 let add_json_string buf s =
   Buffer.add_char buf '"';
@@ -77,20 +106,32 @@ let add_field buf = function
     Buffer.add_char buf ':';
     Buffer.add_string buf (if v then "true" else "false")
 
+let drop_event () =
+  Atomic.incr dropped;
+  Metrics.incr m_dropped
+
 let emit ev fields =
   if enabled () then begin
-    let buf = Buffer.create 128 in
-    Buffer.add_string buf "{\"ev\":";
-    add_json_string buf ev;
-    List.iter
-      (fun f ->
-        Buffer.add_char buf ',';
-        add_field buf f)
-      fields;
-    Buffer.add_string buf "}\n";
-    Mutex.lock sink_lock;
-    (match !sink with Some s -> Buffer.output_buffer s.oc buf | None -> ());
-    Mutex.unlock sink_lock
+    match !fault_hook ~site:"trace.write" ~key:ev with
+    | exception _ -> drop_event ()
+    | () ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "{\"ev\":";
+      add_json_string buf ev;
+      List.iter
+        (fun f ->
+          Buffer.add_char buf ',';
+          add_field buf f)
+        fields;
+      Buffer.add_string buf "}\n";
+      Mutex.lock sink_lock;
+      let failed =
+        match !sink with
+        | Some s -> ( try Buffer.output_buffer s.oc buf; false with Sys_error _ -> true)
+        | None -> false
+      in
+      Mutex.unlock sink_lock;
+      if failed then drop_event ()
   end
 
 let now () = Unix.gettimeofday ()

@@ -19,9 +19,13 @@
     - ["task"] — pool task lifecycle: [event] (start/stop), [domain],
       [index].
     - ["cache"] — artifact-cache lookups: [kind] (build / profile / run),
-      [outcome] (hit/miss), [bench].
+      [outcome] (hit / miss / retry), [bench].
     - ["build"] — population builds: [bench], [input], [seed], [scale],
-      [tau]. *)
+      [tau].
+    - ["fault"] — injected faults ({!Rs_fault}): [site], [key],
+      [attempt], [action] (raise / delay).
+    - ["experiment"] — an experiment of [rspec all] that failed and was
+      isolated: [name], [error]. *)
 
 type field =
   | I of string * int
@@ -29,9 +33,16 @@ type field =
   | S of string * string
   | B of string * bool
 
+exception Error of string
+(** Raised by {!to_file} when the path cannot be opened, carrying a
+    human-readable message (the CLI turns it into a clean error instead
+    of an uncaught [Sys_error] backtrace). *)
+
 val to_file : string -> unit
 (** Open [path] (truncating) and route events to it, replacing any
-    previous sink. *)
+    previous sink.  Raises {!Error} if the path cannot be opened.
+    Installing a sink registers one [at_exit] flush, so even a run that
+    dies of an uncaught exception keeps the tail of its trace. *)
 
 val to_channel : out_channel -> unit
 (** Route events to a caller-owned channel ({!stop} flushes but does not
@@ -43,11 +54,22 @@ val enabled : unit -> bool
 
 val emit : string -> field list -> unit
 (** [emit ev fields] writes [{"ev":ev, ...fields}] as one line.  Lines
-    from concurrent domains never interleave.  No-op when disabled. *)
+    from concurrent domains never interleave.  A write failure (real or
+    injected) drops the whole line — never a partial one — and bumps
+    {!dropped_events} and the [trace.dropped] metric.  No-op when
+    disabled. *)
 
 val stop : unit -> unit
 (** Flush and uninstall the sink (closing it if [to_file] opened it).
     Idempotent. *)
+
+val dropped_events : unit -> int
+(** Lines dropped because a write (or the injection hook) raised. *)
+
+val fault_hook : (site:string -> key:string -> unit) ref
+(** Wiring point for [Rs_fault]: consulted at the ["trace.write"] site
+    before each line is written.  The default is a no-op.  Not for
+    general use — install [Rs_fault.Fault] plans via its [configure]. *)
 
 val now : unit -> float
 (** Wall-clock seconds (epoch); the one clock the suite stamps

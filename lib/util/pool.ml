@@ -5,7 +5,14 @@
    whatever task is queued next instead of sleeping.  That "help while
    you wait" rule is what makes nested [map_ordered] calls on one pool
    deadlock-free — some domain is always executing a task, and every
-   task eventually signals its map's completion counter. *)
+   task eventually signals its map's completion counter.
+
+   Lifecycle: a pool is live from [create] until [close].  [close] while
+   maps are in flight retires the pool instead of pulling workers out
+   from under their callers — the epilogue of the last in-flight map
+   performs the actual shutdown.  A new map on a closed pool raises
+   [Closed] loudly instead of silently degrading to caller-only
+   execution. *)
 
 type t = {
   jobs : int;
@@ -13,11 +20,20 @@ type t = {
   wake : Condition.t;
   work : (unit -> unit) Queue.t;
   mutable live : bool;
+  mutable active : int; (* in-flight map_ordered / run_all calls *)
+  mutable retired : bool; (* close requested while active > 0 *)
   mutable workers : unit Domain.t list;
 }
 
+exception Closed
+
 let m_tasks = Rs_obs.Metrics.counter "pool.tasks"
+let m_worker_failures = Rs_obs.Metrics.counter "pool.worker_failures"
 let g_jobs = Rs_obs.Metrics.gauge "pool.jobs"
+
+(* Injection point for rs_fault, which sits above this library in the
+   dependency graph (it needs Prng) and so cannot be called directly. *)
+let fault_hook : (site:string -> key:string -> unit) ref = ref (fun ~site:_ ~key:_ -> ())
 
 let worker_loop t =
   let rec loop () =
@@ -44,6 +60,14 @@ let worker_loop t =
   in
   loop ()
 
+let worker_main t idx =
+  (* An injected startup failure kills just this worker: the pool
+     degrades to fewer helpers, and the caller-helps rule keeps every
+     map completing. *)
+  match !fault_hook ~site:"pool.worker_start" ~key:(string_of_int idx) with
+  | () -> worker_loop t
+  | exception _ -> Rs_obs.Metrics.incr m_worker_failures
+
 let create ?jobs () =
   let jobs =
     max 1 (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
@@ -55,24 +79,65 @@ let create ?jobs () =
       wake = Condition.create ();
       work = Queue.create ();
       live = true;
+      active = 0;
+      retired = false;
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_main t i));
   Rs_obs.Metrics.set g_jobs jobs;
   t
 
 let jobs t = t.jobs
 
-let close t =
-  Mutex.lock t.mutex;
-  t.live <- false;
-  Condition.broadcast t.wake;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
+let join_workers t =
+  (* Never called with [t.mutex] held (workers need it to observe the
+     shutdown), and never self-joining: a worker performing a deferred
+     shutdown skips its own handle and exits on its own once the queue
+     drains. *)
+  let self = Domain.self () in
+  List.iter (fun d -> if Domain.get_id d <> self then Domain.join d) t.workers;
   t.workers <- []
 
+let close t =
+  Mutex.lock t.mutex;
+  if t.active > 0 then begin
+    (* In-flight maps still own the pool: retire it and let the last
+       map's epilogue perform the shutdown. *)
+    t.retired <- true;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    t.live <- false;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    join_workers t
+  end
+
+let enter_map t =
+  Mutex.lock t.mutex;
+  if not t.live then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
+  t.active <- t.active + 1;
+  Mutex.unlock t.mutex
+
+let exit_map t =
+  Mutex.lock t.mutex;
+  t.active <- t.active - 1;
+  let shutdown_now = t.retired && t.active = 0 in
+  if shutdown_now then begin
+    t.retired <- false;
+    t.live <- false;
+    Condition.broadcast t.wake
+  end;
+  Mutex.unlock t.mutex;
+  if shutdown_now then join_workers t
+
 let map_ordered (type b) t f arr =
+  enter_map t;
+  Fun.protect ~finally:(fun () -> exit_map t) @@ fun () ->
   let n = Array.length arr in
   if t.jobs = 1 || n <= 1 then Array.map f arr
   else begin
@@ -85,7 +150,10 @@ let map_ordered (type b) t f arr =
       let dom = (Domain.self () :> int) in
       if traced then
         Rs_obs.Trace.emit "task" [ S ("event", "start"); I ("domain", dom); I ("index", i) ];
-      (try results.(i) <- Some (f arr.(i)) with e -> errors.(i) <- Some e);
+      (try
+         !fault_hook ~site:"pool.task" ~key:(string_of_int i);
+         results.(i) <- Some (f arr.(i))
+       with e -> errors.(i) <- Some e);
       if traced then
         Rs_obs.Trace.emit "task" [ S ("event", "stop"); I ("domain", dom); I ("index", i) ];
       Mutex.lock t.mutex;
@@ -127,6 +195,8 @@ let shared ~jobs =
     match !shared_pool with
     | Some p when p.jobs = jobs -> p
     | prev ->
+      (* [close] defers the old pool's shutdown until its in-flight maps
+         finish, so a caller still holding it keeps a working pool. *)
       (match prev with Some p -> close p | None -> ());
       let p = create ~jobs () in
       shared_pool := Some p;

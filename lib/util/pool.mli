@@ -16,9 +16,18 @@
     same pool.  While an inner call waits for its results it helps drain
     the shared queue (executing whatever task is next, including tasks of
     other in-flight maps), so nesting adds no deadlock and wastes no
-    worker. *)
+    worker.
+
+    Lifecycle: a pool is live from {!create} until {!close} completes.
+    Mapping on a closed pool raises {!Closed} rather than silently
+    running caller-only; closing a pool with maps in flight defers the
+    shutdown until the last of them finishes. *)
 
 type t
+
+exception Closed
+(** Raised by {!map_ordered}/{!run_all} on a pool whose {!close} has
+    completed. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] defaults
@@ -35,7 +44,8 @@ val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
     order.  If any application raises, the exception of the
     {e lowest-indexed} failing element is re-raised in the caller after
     all scheduled work settles (deterministic regardless of which worker
-    failed first); the pool remains usable. *)
+    failed first); the pool remains usable.  Raises {!Closed} if the
+    pool has been shut down. *)
 
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** Heterogeneous fan-out: run every thunk (concurrently, order
@@ -43,10 +53,22 @@ val run_all : t -> (unit -> 'a) list -> 'a list
     contract as {!map_ordered}. *)
 
 val close : t -> unit
-(** Shut the workers down and join their domains.  Must not be called
-    while a {!map_ordered} is in flight.  Idempotent. *)
+(** Shut the workers down and join their domains.  Called while maps are
+    in flight, it retires the pool instead: those maps (and their nested
+    maps) run to completion, the last one's epilogue performs the
+    shutdown, and only then do new maps raise {!Closed}.  Idempotent. *)
 
 val shared : jobs:int -> t
 (** The process-wide pool, created on first use.  Asking for a different
-    [jobs] than the live shared pool has closes it and creates a fresh
-    one, so a long-lived process follows the most recent request. *)
+    [jobs] than the live shared pool has closes it (deferring while it
+    still has maps in flight, so a caller holding the old pool keeps a
+    working one) and creates a fresh pool, so a long-lived process
+    follows the most recent request. *)
+
+val fault_hook : (site:string -> key:string -> unit) ref
+(** Wiring point for [Rs_fault]: consulted at the ["pool.task"] and
+    ["pool.worker_start"] injection sites.  The default is a no-op; an
+    exception from the hook fails the task (re-raised by the map like
+    any task error) or kills the starting worker (the pool degrades to
+    fewer helpers, counted in [pool.worker_failures]).  Not for general
+    use — install {!Rs_fault.Fault} plans via its [configure]. *)

@@ -1,19 +1,29 @@
 let () =
-  Alcotest.run "reactive_speculation"
-    [
-      ("prng", Test_prng.suite);
-      ("util", Test_util.suite);
-      ("props", Test_props.suite);
-      ("obs", Test_obs.suite);
-      ("pool", Test_pool.suite);
-      ("behavior", Test_behavior.suite);
-      ("core-static", Test_static.suite);
-      ("core-reactive", Test_reactive.suite);
-      ("sim", Test_sim.suite);
-      ("workload", Test_workload.suite);
-      ("ir", Test_ir.suite);
-      ("distill", Test_distill.suite);
-      ("mssp", Test_mssp.suite);
-      ("experiments", Test_experiments.suite);
-      ("golden", Test_golden.suite);
-    ]
+  (* Subprocess mode for test_fault's flush-on-abnormal-exit check: emit
+     one buffered trace event, then die of an uncaught exception — only
+     the at_exit hook registered by Trace.to_file can land the line. *)
+  match Sys.getenv_opt "RS_TEST_TRACE_CHILD" with
+  | Some path ->
+    Rs_obs.Trace.to_file path;
+    Rs_obs.Trace.emit "child" [ Rs_obs.Trace.I ("pid", Unix.getpid ()) ];
+    failwith "intentional abnormal exit"
+  | None ->
+    Alcotest.run "reactive_speculation"
+      [
+        ("prng", Test_prng.suite);
+        ("util", Test_util.suite);
+        ("props", Test_props.suite);
+        ("obs", Test_obs.suite);
+        ("pool", Test_pool.suite);
+        ("fault", Test_fault.suite);
+        ("behavior", Test_behavior.suite);
+        ("core-static", Test_static.suite);
+        ("core-reactive", Test_reactive.suite);
+        ("sim", Test_sim.suite);
+        ("workload", Test_workload.suite);
+        ("ir", Test_ir.suite);
+        ("distill", Test_distill.suite);
+        ("mssp", Test_mssp.suite);
+        ("experiments", Test_experiments.suite);
+        ("golden", Test_golden.suite);
+      ]
