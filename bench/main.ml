@@ -39,10 +39,37 @@ let bench_stream () =
   Rs_behavior.Stream.iter pop stream_cfg (fun _ -> incr n);
   !n
 
+let small_trace = lazy (Rs_behavior.Trace_store.record (Lazy.force small_pop) stream_cfg)
+
+let bench_trace_record () =
+  Rs_behavior.Trace_store.length (Rs_behavior.Trace_store.record (Lazy.force small_pop) stream_cfg)
+
+let bench_trace_replay () =
+  (* the engine's replay fast path: decode every field from the packed
+     words, no event allocation — compare against stream-generation *)
+  let tr = Lazy.force small_trace in
+  let acc = ref 0 in
+  Rs_behavior.Trace_store.iter_packed tr (fun chunk len ->
+      for i = 0 to len - 1 do
+        let w = Array.unsafe_get chunk i in
+        acc :=
+          !acc
+          + Rs_behavior.Trace_store.packed_branch w
+          + Rs_behavior.Trace_store.packed_delta w
+          + Bool.to_int (Rs_behavior.Trace_store.packed_taken w)
+      done);
+  !acc
+
 let bench_reactive_observe () =
   (* figure5 / table3 / table4 kernel: one full small engine run *)
   let pop = Lazy.force small_pop in
   let r = Rs_sim.Engine.run pop stream_cfg Rs_core.Params.default in
+  r.correct
+
+let bench_reactive_replay () =
+  (* the same engine run off a prerecorded trace: the chunked hot loop *)
+  let pop = Lazy.force small_pop in
+  let r = Rs_sim.Engine.run ~trace:(Lazy.force small_trace) pop stream_cfg Rs_core.Params.default in
   r.correct
 
 let bench_profile () =
@@ -150,41 +177,78 @@ let bench_parallel_all () =
   in
   List.length outs
 
-let tests =
+let kernels : (string * (unit -> int)) list =
   [
-    Test.make ~name:"table1+2/workload-build" (Staged.stage bench_workload_build);
-    Test.make ~name:"figure2/profile-pass" (Staged.stage bench_profile);
-    Test.make ~name:"figure2/pareto-curve" (Staged.stage bench_pareto);
-    Test.make ~name:"figure3+9/bias-tracks" (Staged.stage bench_tracks);
-    Test.make ~name:"figure5+table3+4/reactive-run" (Staged.stage bench_reactive_observe);
-    Test.make ~name:"figure6/eviction-watch" (Staged.stage bench_eviction_watch);
-    Test.make ~name:"figure1/distill" (Staged.stage bench_distill);
-    Test.make ~name:"figure7+8+table5/mssp-run" (Staged.stage bench_mssp);
-    Test.make ~name:"substrate/stream-generation" (Staged.stage bench_stream);
-    Test.make ~name:"runner/pool-map" (Staged.stage bench_pool_map);
-    Test.make ~name:"runner/cached-profile" (Staged.stage bench_cached_profile);
-    Test.make ~name:"runner/parallel-all" (Staged.stage bench_parallel_all);
+    ("table1+2/workload-build", bench_workload_build);
+    ("figure2/profile-pass", bench_profile);
+    ("figure2/pareto-curve", bench_pareto);
+    ("figure3+9/bias-tracks", bench_tracks);
+    ("figure5+table3+4/reactive-run", bench_reactive_observe);
+    ("figure5+table3+4/reactive-run-replay", bench_reactive_replay);
+    ("figure6/eviction-watch", bench_eviction_watch);
+    ("figure1/distill", bench_distill);
+    ("figure7+8+table5/mssp-run", bench_mssp);
+    ("substrate/stream-generation", bench_stream);
+    ("substrate/trace-record", bench_trace_record);
+    ("substrate/trace-replay", bench_trace_replay);
+    ("runner/pool-map", bench_pool_map);
+    ("runner/cached-profile", bench_cached_profile);
+    ("runner/parallel-all", bench_parallel_all);
   ]
 
-let run_microbenchmarks () =
-  print_endline "== microbenchmarks (ns per kernel run; OLS on monotonic clock) ==";
+(* The sampling budget per kernel, overridable so CI smoke runs can keep
+   the whole harness to a couple of seconds. *)
+let quota_s () =
+  match Sys.getenv_opt "RS_BENCH_QUOTA" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some q when q > 0.0 -> q
+    | _ -> failwith (Printf.sprintf "RS_BENCH_QUOTA expects a positive float, got %S" s))
+  | None -> 0.25
+
+type kernel_estimate = {
+  k_name : string;
+  ns_per_run : float option;
+  minor_words_per_run : float option;
+}
+
+(* Run every kernel through bechamel once and OLS-fit both measures:
+   nanoseconds and minor-heap words per run. *)
+let measure_kernels () =
   (* prime outside the samples: the first cached-profile call pays the
      collection and would dominate the OLS estimate *)
   ignore (Lazy.force cache_ctx : Rs_experiments.Context.t);
+  ignore (Lazy.force small_trace : Rs_behavior.Trace_store.t);
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second (quota_s ())) ~kde:None () in
+  List.map
+    (fun (name, fn) ->
+      let results = Benchmark.all cfg instances (Test.make ~name (Staged.stage fn)) in
+      let estimate instance =
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun _ r acc ->
+            match Analyze.OLS.estimates r with Some (e :: _) -> Some e | _ -> acc)
+          analyzed None
+      in
+      {
+        k_name = name;
+        ns_per_run = estimate Instance.monotonic_clock;
+        minor_words_per_run = estimate Instance.minor_allocated;
+      })
+    kernels
+
+let run_microbenchmarks () =
+  print_endline "== microbenchmarks (per kernel run; OLS on monotonic clock) ==";
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.printf "  %-36s %12.0f ns/run\n%!" name est
-          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
-        analyzed)
-    tests
+    (fun { k_name; ns_per_run; minor_words_per_run } ->
+      match ns_per_run with
+      | Some ns ->
+        Printf.printf "  %-36s %12.0f ns/run %12.0f mnr-w/run\n%!" k_name ns
+          (Option.value ~default:0.0 minor_words_per_run)
+      | None -> Printf.printf "  %-36s (no estimate)\n%!" k_name)
+    (measure_kernels ())
 
 (* ---------------------------------------------------------------------- *)
 (* Reproductions                                                           *)
@@ -225,7 +289,106 @@ let run_reproductions () =
   section "paper-claim checklist" Rs_experiments.Claims.print;
   Printf.printf "\n%s\n%!" (Rs_experiments.Cache.describe (Rs_experiments.Cache.stats ()))
 
+(* ---------------------------------------------------------------------- *)
+(* JSON mode (--json FILE)                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+(* Machine-readable results for CI and for committing alongside the
+   repo: kernel estimates (ns and minor words per run), the
+   trace-replay-vs-stream-generation speedup, and a wall-clock
+   comparison of one real swept experiment (figure5) with trace replay
+   on and off.  Reproductions are skipped — this mode is meant to stay
+   cheap enough for a CI smoke stage. *)
+
+let time_figure5 ~replay ctx =
+  Rs_experiments.Cache.set_trace_replay replay;
+  Rs_experiments.Cache.reset ();
+  let t0 = Unix.gettimeofday () in
+  let rendered = Rs_experiments.Figure5.render (Rs_experiments.Figure5.run ctx) in
+  (Unix.gettimeofday () -. t0, rendered)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float = function
+  | Some f when Float.is_finite f -> Printf.sprintf "%.2f" f
+  | _ -> "null"
+
+let run_json file =
+  let getf var default =
+    match Sys.getenv_opt var with Some s -> float_of_string s | None -> default
+  in
+  let geti var default =
+    match Sys.getenv_opt var with Some s -> int_of_string s | None -> default
+  in
+  let scale = getf "RS_SCALE" 0.05 in
+  let seed = geti "RS_SEED" 3 in
+  let tau = geti "RS_TAU" 10 in
+  let ctx = Rs_experiments.Context.create ~seed ~scale ~tau ~jobs:1 () in
+  Printf.eprintf "bench: measuring %d kernels (quota %.2fs each)...\n%!" (List.length kernels)
+    (quota_s ());
+  let estimates = measure_kernels () in
+  let find name =
+    List.find_opt (fun k -> k.k_name = name) estimates
+    |> Fun.flip Option.bind (fun k -> k.ns_per_run)
+  in
+  let trace_speedup =
+    match (find "substrate/stream-generation", find "substrate/trace-replay") with
+    | Some gen, Some rep when rep > 0.0 -> Some (gen /. rep)
+    | _ -> None
+  in
+  Printf.eprintf "bench: timing figure5 with and without trace replay...\n%!";
+  let regen_s, regen_out = time_figure5 ~replay:false ctx in
+  let replay_s, replay_out = time_figure5 ~replay:true ctx in
+  Rs_experiments.Cache.set_trace_replay true;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"context\": { \"seed\": %d, \"scale\": %g, \"tau\": %d, \"quota_s\": %g },\n" seed
+       scale tau (quota_s ()));
+  Buffer.add_string buf "  \"kernels\": [\n";
+  List.iteri
+    (fun i { k_name; ns_per_run; minor_words_per_run } ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
+           (json_escape k_name) (json_float ns_per_run) (json_float minor_words_per_run)
+           (if i = List.length estimates - 1 then "" else ",")))
+    estimates;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"trace_replay_speedup_vs_stream_generation\": %s,\n"
+       (json_float trace_speedup));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"figure5\", \"regen_wall_s\": %.3f, \"replay_wall_s\": %.3f, \
+        \"speedup\": %.3f, \"identical_output\": %b }\n"
+       regen_s replay_s
+       (if replay_s > 0.0 then regen_s /. replay_s else 0.0)
+       (String.equal regen_out replay_out));
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "bench: wrote %s\n%!" file
+
 let () =
-  run_reproductions ();
-  print_newline ();
-  run_microbenchmarks ()
+  match Sys.argv with
+  | [| _; "--json"; file |] -> run_json file
+  | [| _ |] ->
+    run_reproductions ();
+    print_newline ();
+    run_microbenchmarks ()
+  | _ ->
+    prerr_endline "usage: bench [--json FILE]";
+    exit 2

@@ -54,12 +54,21 @@ let ctx_term =
     let doc =
       "Enable deterministic fault injection from $(docv) (also $(b,RS_FAULTS)), e.g. \
        'seed=7,rate=0.4,max_raises=2,sites=cache'.  Faults raise or delay at named sites in \
-       the cache, pool and trace layers on a replayable schedule; see README 'Fault \
-       injection & failure semantics'."
+       the cache, pool, trace and trace-store layers on a replayable schedule; see README \
+       'Fault injection & failure semantics'."
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let make scale seed tau jobs cache_stats metrics trace faults =
+  let trace_cache_mb =
+    let doc =
+      "Capacity of the in-memory branch-event trace store in megabytes (also \
+       $(b,RS_TRACE_CACHE_MB)).  Streams are recorded once and replayed from this LRU by \
+       every sweep; 0 disables recording entirely (streams regenerate live; results are \
+       identical either way).  See README 'Trace record/replay'."
+    in
+    Arg.(value & opt (some int) None & info [ "trace-cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let make scale seed tau jobs cache_stats metrics trace faults trace_cache_mb =
     let configured =
       match faults with
       | Some spec -> Rs_fault.Fault.configure_spec spec
@@ -83,9 +92,20 @@ let ctx_term =
         Printf.eprintf "rspec: %s\n" msg;
         exit 2)
     | None -> ());
+    (match trace_cache_mb with
+    | Some mb ->
+      if mb < 0 then begin
+        Printf.eprintf "rspec: --trace-cache-mb must be >= 0\n";
+        exit 2
+      end;
+      Rs_behavior.Trace_store.set_capacity_bytes (mb * 1024 * 1024);
+      if mb = 0 then E.Cache.set_trace_replay false
+    | None -> ());
     E.Context.create ~seed ~scale ~tau ~jobs ()
   in
-  Term.(const make $ scale $ seed $ tau $ jobs $ cache_stats $ metrics $ trace $ faults)
+  Term.(
+    const make $ scale $ seed $ tau $ jobs $ cache_stats $ metrics $ trace $ faults
+    $ trace_cache_mb)
 
 let with_header name f ctx =
   Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx);

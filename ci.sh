@@ -42,4 +42,34 @@ for seed in 1 7; do
     timeout 600 ./_build/default/test/main.exe test fault
 done
 
+# Same stress with the trace store's recording site also failing: the
+# pipeline records streams once and replays them, so a fault inside
+# trace_store.record must be retried away without changing a byte.
+# max_raises is a PER-SITE budget and a cache compute body now consults
+# two sites (cache.* plus trace_store.record), so the worst case is
+# max_raises * 2 raises against 3 attempts: max_raises=1 keeps the
+# retries-always-succeed guarantee that byte-identity rests on.
+echo "== fault stress (trace_store.record site) =="
+RS_FAULTS="seed=3,rate=0.8,max_raises=1,sites=cache:trace_store,delay=0.2,delay_us=300,delay_sites=pool" \
+  timeout 600 ./_build/default/test/main.exe test fault
+
+# Bench smoke: the JSON mode at a tiny sampling quota and context.  This
+# is not a performance gate — it only asserts the harness runs, the JSON
+# parses and every kernel (including the trace-replay pair) reported.
+echo "== bench smoke (--json) =="
+dune build bench/main.exe
+BENCH_JSON=$(mktemp /tmp/rs_bench_smoke.XXXXXX.json)
+RS_BENCH_QUOTA=0.02 RS_SCALE=0.01 \
+  timeout 600 ./_build/default/bench/main.exe --json "$BENCH_JSON"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.kernels | length >= 15' "$BENCH_JSON" >/dev/null
+  jq -e '.kernels | map(.name) | (index("substrate/trace-replay") != null) and
+         (index("substrate/stream-generation") != null)' "$BENCH_JSON" >/dev/null
+  jq -e '.experiments[0].identical_output == true' "$BENCH_JSON" >/dev/null
+  echo "bench json ok: $(jq -c '.context' "$BENCH_JSON")"
+else
+  echo "bench json written ($BENCH_JSON); jq not installed, skipping assertions"
+fi
+rm -f "$BENCH_JSON"
+
 echo "== ci ok =="

@@ -5,10 +5,15 @@ type config = { seed : int; instr_per_branch : float; length : int }
 let total_instructions config =
   int_of_float (float_of_int config.length *. config.instr_per_branch)
 
-let iter_counted pop config f =
-  if config.length <= 0 then invalid_arg "Stream.iter: length must be positive";
+(* Entry points share one generator but report their own name on a bad
+   config, so the error points at the call the user actually made. *)
+let validate ~caller config =
+  if config.length <= 0 then invalid_arg (caller ^ ": length must be positive");
   if config.instr_per_branch < 1.0 then
-    invalid_arg "Stream.iter: instr_per_branch must be >= 1";
+    invalid_arg (caller ^ ": instr_per_branch must be >= 1")
+
+let iter_counted_as ~caller pop config f =
+  validate ~caller config;
   let root = Rs_util.Prng.create config.seed in
   let pick_rng = Rs_util.Prng.split root in
   (* Each branch owns a private outcome stream so that its sampled
@@ -43,6 +48,10 @@ let iter_counted pop config f =
   done;
   exec
 
-let iter pop config f = ignore (iter_counted pop config f : int array)
+let iter_counted pop config f = iter_counted_as ~caller:"Stream.iter_counted" pop config f
 
-let exec_counts pop config = iter_counted pop config (fun _ -> ())
+let iter pop config f =
+  ignore (iter_counted_as ~caller:"Stream.iter" pop config f : int array)
+
+let exec_counts pop config =
+  iter_counted_as ~caller:"Stream.exec_counts" pop config (fun _ -> ())

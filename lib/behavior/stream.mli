@@ -28,7 +28,8 @@ type config = {
 val iter : Population.t -> config -> (event -> unit) -> unit
 (** Generate [config.length] events in order, calling the consumer on
     each.  @raise Invalid_argument on a non-positive length or an
-    [instr_per_branch < 1]. *)
+    [instr_per_branch < 1]; the message names the entry point that was
+    actually called ([iter], [iter_counted] or [exec_counts]). *)
 
 val iter_counted : Population.t -> config -> (event -> unit) -> int array
 (** Like {!iter}, and additionally returns the per-branch execution
@@ -46,3 +47,10 @@ val exec_counts : Population.t -> config -> int array
 val total_instructions : config -> int
 (** Instruction count the stream reaches, [length * instr_per_branch]
     rounded. *)
+
+(**/**)
+
+val validate : caller:string -> config -> unit
+(** Shared entry-point guard: raises [Invalid_argument] naming [caller]
+    on a config the generator rejects.  For in-library consumers
+    ({!Trace_store}) that front the generator under their own name. *)

@@ -198,8 +198,7 @@ let observe_biased t branch st ~taken ~instr =
       end
   end
 
-let observe t ~branch ~taken ~instr =
-  let st = t.states.(branch) in
+let observe_state t branch st ~taken ~instr =
   if st.pend_at >= 0 && instr >= st.pend_at then begin
     st.dep_spec <- st.pend_spec;
     st.dep_dir <- st.pend_dir;
@@ -225,3 +224,15 @@ let observe t ~branch ~taken ~instr =
     end
   | Disabled -> ());
   st.execs <- st.execs + 1
+
+let observe t ~branch ~taken ~instr = observe_state t branch t.states.(branch) ~taken ~instr
+
+(* [deployed] followed by [observe], fused into a single state lookup.
+   The decision is read before the observation (and before any pending
+   deployment this event's [instr] activates inside it), so the caller
+   scores against exactly what [deployed] would have returned. *)
+let step t ~branch ~taken ~instr =
+  let st = t.states.(branch) in
+  let d = { Types.speculate = st.dep_spec; direction = st.dep_dir } in
+  observe_state t branch st ~taken ~instr;
+  d

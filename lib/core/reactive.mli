@@ -45,6 +45,14 @@ val observe : t -> branch:int -> taken:bool -> instr:int -> unit
     instruction count [instr].  Instruction counts must be
     non-decreasing across calls. *)
 
+val step : t -> branch:int -> taken:bool -> instr:int -> Types.decision
+(** [deployed] followed by [observe], fused into one per-branch state
+    lookup: returns exactly what [deployed t branch] would have before
+    the observation (in particular, before a pending deployment this
+    event activates takes effect).  The simulator's hot loop uses this
+    to halve the per-event state round-trips; the split calls remain
+    for drivers that interleave work between the read and the update. *)
+
 val transitions : t -> Types.transition list
 (** All transitions so far, oldest first. *)
 

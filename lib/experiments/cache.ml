@@ -176,6 +176,29 @@ let build ctx bm ~input =
       Fault.hit ~site:"cache.build" ~key:(bm.BM.name ^ "/" ^ input_tag input);
       Context.build ctx bm ~input)
 
+(* Branch-event streams are pure in (population, stream config), and the
+   population is pure in the ckey, so every consumer below shares one
+   packed recording per ckey through the trace store's LRU: the sweeps
+   (figure5's variants, table3/4, the ablations, breakeven) record the
+   stream once and replay it per parameter point.  [set_trace_replay
+   false] is the kill switch that forces live regeneration everywhere —
+   replay is byte-identical, so flipping it never changes results. *)
+let use_traces = Atomic.make true
+
+let set_trace_replay b = Atomic.set use_traces b
+let trace_replay_enabled () = Atomic.get use_traces
+
+let stream_key (k : ckey) =
+  Printf.sprintf "%s/%s/seed=%d/scale=%g/tau=%d" k.bench (input_tag k.input) k.seed k.scale
+    k.tau
+
+let trace ctx bm ~input =
+  if not (Atomic.get use_traces) then None
+  else begin
+    let pop, cfg = build ctx bm ~input in
+    Some (Rs_behavior.Trace_store.cached ~key:(stream_key (ckey ctx bm input)) pop cfg)
+  end
+
 (* Every checkpoint window the suite requests anywhere: the paper-time
    windows (figure5's default profiles), the context's compressed windows
    (figure2) and figure3's invariance horizon.  Collecting each profile
@@ -198,7 +221,9 @@ let rec profile ?(windows = Static.windows) ctx bm ~input =
   let collect extra =
     Fault.hit ~site:"cache.profile" ~key:(bm.BM.name ^ "/" ^ input_tag input);
     let pop, cfg = build ctx bm ~input in
-    Rs_sim.Profile.collect ~windows:(canonical_windows ctx extra) pop cfg
+    Rs_sim.Profile.collect
+      ~windows:(canonical_windows ctx extra)
+      ?trace:(trace ctx bm ~input) pop cfg
   in
   let p = find_or_compute profiles ~bench:bm.BM.name key (fun () -> collect windows) in
   if covers p windows then p
@@ -234,7 +259,7 @@ let run ctx bm ~input params =
           (Printf.sprintf "%s/%s/%04x" bm.BM.name (input_tag input)
              (Hashtbl.hash params land 0xffff));
       let pop, cfg = build ctx bm ~input in
-      Rs_sim.Engine.run ~label:bm.name pop cfg params)
+      Rs_sim.Engine.run ~label:bm.name ?trace:(trace ctx bm ~input) pop cfg params)
 
 let stats () =
   {
@@ -264,7 +289,8 @@ let reset () =
   (* wake any waiter parked on an [In_flight] entry the reset just
      dropped: it re-checks, finds nothing and recomputes *)
   Condition.broadcast published;
-  Mutex.unlock lock
+  Mutex.unlock lock;
+  Rs_behavior.Trace_store.clear ()
 
 module Private = struct
   type nonrec ('k, 'v) memo = ('k, 'v) memo

@@ -81,6 +81,29 @@ val run :
     engine directly — hooks observe the run, so a cached replay would
     skip them. *)
 
+val trace :
+  Context.t ->
+  Rs_workload.Benchmark.t ->
+  input:Rs_workload.Benchmark.input ->
+  Rs_behavior.Trace_store.t option
+(** The packed branch-event trace for the memoised build, recorded once
+    per [(seed, scale, tau, benchmark, input)] through
+    {!Rs_behavior.Trace_store.cached} and replayed by every later
+    consumer ({!run}, {!profile}, and the figure experiments that drive
+    the engine with hooks).  Returns [None] when replay is disabled via
+    {!set_trace_replay} — callers pass the option straight to the [?trace]
+    parameter of the sim layer, which then regenerates live.  Replay is
+    byte-identical to regeneration, so the toggle never changes
+    results, only speed. *)
+
+val set_trace_replay : bool -> unit
+(** Enable/disable record-once/replay-many streaming (default enabled).
+    Disabling makes {!trace} return [None]; entries already recorded stay
+    in the trace store until {!reset} or eviction. *)
+
+val trace_replay_enabled : unit -> bool
+(** Current {!set_trace_replay} setting. *)
+
 val stats : unit -> stats
 (** Counters since the last {!reset} (or process start). *)
 
@@ -98,9 +121,10 @@ val set_retry_limit : int -> unit
 (** Change {!retry_limit}; values below 1 are clamped to 1. *)
 
 val reset : unit -> unit
-(** Drop every entry and zero the counters (tests and benches).  Safe
-    against in-flight computations: they complete for their own caller
-    but publish nothing (see the generation check above). *)
+(** Drop every entry and zero the counters (tests and benches), including
+    the process-global {!Rs_behavior.Trace_store} LRU.  Safe against
+    in-flight computations: they complete for their own caller but
+    publish nothing (see the generation check above). *)
 
 (**/**)
 

@@ -28,7 +28,9 @@ let run ?(benchmark = "gap") ?(count = 5) ctx =
   let chosen = List.filteri (fun i _ -> i < count) candidates in
   (* Pass 2: block-bias series for the chosen branches. *)
   let tracks_data =
-    Rs_sim.Tracks.Exec_blocks.collect pop cfg ~branches:(List.map fst chosen) ~block
+    Rs_sim.Tracks.Exec_blocks.collect
+      ?trace:(Cache.trace ctx bm ~input:Ref)
+      pop cfg ~branches:(List.map fst chosen) ~block
   in
   let tracks =
     List.map

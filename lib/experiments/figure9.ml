@@ -4,8 +4,12 @@ let buckets = 64
 
 let run ?(benchmark = "vortex") ctx =
   let bm = Rs_workload.Benchmark.find benchmark in
-  let pop, cfg = Context.build ctx bm ~input:Ref in
-  let data = Rs_sim.Tracks.Intervals.collect pop cfg ~buckets ~min_execs:40 in
+  let pop, cfg = Cache.build ctx bm ~input:Ref in
+  let data =
+    Rs_sim.Tracks.Intervals.collect
+      ?trace:(Cache.trace ctx bm ~input:Ref)
+      pop cfg ~buckets ~min_execs:40
+  in
   { benchmark; buckets; flippers = Rs_sim.Tracks.Intervals.flippers data ~threshold:0.99 }
 
 let render t =

@@ -7,9 +7,10 @@
    been consulted — which the call sites keep deterministic — never on
    wall-clock or domain interleaving.
 
-   Pool and Trace sit below this library in the dependency graph, so
-   [configure] reaches them through the [fault_hook] refs they expose;
-   the cache (rs_experiments, above us) calls [hit] directly. *)
+   Pool, Trace and the trace store sit below this library in the
+   dependency graph, so [configure] reaches them through the
+   [fault_hook] refs they expose; the cache (rs_experiments, above us)
+   calls [hit] directly. *)
 
 module Prng = Rs_util.Prng
 
@@ -127,12 +128,14 @@ let configure plan =
   Atomic.set current plan;
   Rs_util.Pool.fault_hook := hit;
   Rs_obs.Trace.fault_hook := hit;
+  Rs_behavior.Trace_store.fault_hook := hit;
   Atomic.set enabled_flag true
 
 let disable () =
   Atomic.set enabled_flag false;
   Rs_util.Pool.fault_hook := noop;
-  Rs_obs.Trace.fault_hook := noop
+  Rs_obs.Trace.fault_hook := noop;
+  Rs_behavior.Trace_store.fault_hook := noop
 
 let parse_spec s =
   let parse_sites v = List.filter (fun x -> x <> "") (String.split_on_char ':' v) in

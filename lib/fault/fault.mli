@@ -5,8 +5,10 @@
     module turns named injection {e sites} threaded through the
     concurrency layer — the artifact cache's compute bodies
     (["cache.build"], ["cache.profile"], ["cache.run"]), the domain pool
-    (["pool.task"], ["pool.worker_start"]) and the trace sink
-    (["trace.write"]) — into raises and delays scheduled by a {!plan}.
+    (["pool.task"], ["pool.worker_start"]), the trace sink
+    (["trace.write"]) and the packed trace store's recorder
+    (["trace_store.record"]) — into raises and delays scheduled by a
+    {!plan}.
 
     The action at a site is a pure function of
     [(plan seed, site, key, attempt)], where [attempt] counts how many
@@ -17,9 +19,10 @@
 
     With no plan configured (the default) a site costs one atomic load.
 
-    Dependency note: {!Rs_util.Pool} and {!Rs_obs.Trace} sit {e below}
-    this library, so they cannot call it directly; each exposes a
-    [fault_hook] ref that {!configure} points at {!hit}. *)
+    Dependency note: {!Rs_util.Pool}, {!Rs_obs.Trace} and
+    {!Rs_behavior.Trace_store} sit {e below} this library, so they cannot
+    call it directly; each exposes a [fault_hook] ref that {!configure}
+    points at {!hit}. *)
 
 type plan = {
   seed : int;  (** root of the per-[(site, key, attempt)] decision streams *)
@@ -32,8 +35,11 @@ type plan = {
       (** site prefixes eligible to delay; [[]] means all sites *)
   max_raises : int;
       (** per-[(site, key)] raise budget; once spent, further raise draws
-          pass, so a plan with [max_raises < Cache.retry_limit ()]
-          guarantees every cache retry eventually succeeds *)
+          pass.  The budget is per {e site}: a cache compute body that
+          consults both a [cache.*] site and [trace_store.record] can
+          raise up to [2 * max_raises] times, so plans spanning both
+          must keep [sites-per-body * max_raises < Cache.retry_limit ()]
+          for every retry to eventually succeed *)
 }
 
 val default_plan : plan
@@ -50,8 +56,8 @@ val parse_spec : string -> (plan, string) result
     values are reported, not ignored. *)
 
 val configure : plan -> unit
-(** Install [plan], clear the attempt/raise history and point the pool
-    and trace hooks at {!hit}. *)
+(** Install [plan], clear the attempt/raise history and point the pool,
+    trace and trace-store hooks at {!hit}. *)
 
 val configure_spec : string -> (unit, string) result
 (** {!parse_spec} then {!configure}. *)

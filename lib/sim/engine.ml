@@ -23,9 +23,13 @@ let m_incorrect = Rs_obs.Metrics.counter "engine.incorrect"
 let h_wall =
   Rs_obs.Metrics.histogram "engine.wall_seconds" ~bounds:[| 0.01; 0.1; 1.0; 10.0; 60.0 |]
 
-let run ?(label = "") ?observer ?on_transition pop config params =
+let run ?(label = "") ?observer ?on_transition ?trace pop config params =
   let t0 = Rs_obs.Trace.now () in
   let n = Rs_behavior.Population.size pop in
+  (match trace with
+  | Some tr when not (Rs_behavior.Trace_store.matches tr pop config) ->
+    invalid_arg "Engine.run: trace was recorded for a different (population, config)"
+  | _ -> ());
   (* Compose the tracing hook outside the event loop; enabled() is
      sampled once per run, like the observer resolution below. *)
   let on_transition =
@@ -50,37 +54,55 @@ let run ?(label = "") ?observer ?on_transition pop config params =
   let incorrect = ref 0 in
   let last_misspec = ref 0 in
   let gaps = Rs_util.Running_stats.create () in
-  let score (ev : Rs_behavior.Stream.event) (d : Types.decision) =
+  let score ~taken ~instr (d : Types.decision) =
     if d.speculate then begin
-      if ev.taken = d.direction then incr correct
+      if taken = d.direction then incr correct
       else begin
         incr incorrect;
-        Rs_util.Running_stats.add gaps (float_of_int (ev.instr - !last_misspec));
-        last_misspec := ev.instr
+        Rs_util.Running_stats.add gaps (float_of_int (instr - !last_misspec));
+        last_misspec := instr
       end
     end
   in
-  (* The optional hook is resolved once, outside the event loop: the
-     common no-observer path pays neither the match nor the extra call.
-     Hook order is part of the contract — the observer sees the event
-     after scoring but before the controller does. *)
-  let consume =
-    match observer with
-    | None ->
-      fun ev ->
-        score ev (Reactive.deployed controller ev.branch);
-        Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
-    | Some f ->
-      fun ev ->
-        let d = Reactive.deployed controller ev.branch in
-        score ev d;
-        f ev d;
-        Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
-  in
   Log.debug (fun m ->
-      m "run: %d branches, %d events, ipb %.1f" n config.Rs_behavior.Stream.length
-        config.instr_per_branch);
-  Rs_behavior.Stream.iter pop config consume;
+      m "run: %d branches, %d events, ipb %.1f%s" n config.Rs_behavior.Stream.length
+        config.instr_per_branch
+        (if trace = None then "" else " (trace replay)"));
+  (* The optional hook is resolved once, outside the event loop: the
+     common no-observer path pays neither the match nor the extra call,
+     and additionally fuses the deployed-lookup and the observation into
+     a single controller step.  Hook order is part of the contract — the
+     observer sees the event after scoring but before the controller
+     does — so the observer paths keep the split calls. *)
+  (match (observer, trace) with
+  | None, Some tr ->
+    (* Replay fast path: iterate the packed chunks directly — no event
+       records, no RNG, no behaviour sampling — one fused controller
+       step per event. *)
+    let instr = ref 0 in
+    Rs_behavior.Trace_store.iter_packed tr (fun chunk len ->
+        for i = 0 to len - 1 do
+          let w = Array.unsafe_get chunk i in
+          let taken = Rs_behavior.Trace_store.packed_taken w in
+          instr := !instr + Rs_behavior.Trace_store.packed_delta w;
+          score ~taken ~instr:!instr
+            (Reactive.step controller ~branch:(Rs_behavior.Trace_store.packed_branch w)
+               ~taken ~instr:!instr)
+        done)
+  | None, None ->
+    Rs_behavior.Stream.iter pop config (fun ev ->
+        score ~taken:ev.taken ~instr:ev.instr
+          (Reactive.step controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr))
+  | Some f, _ ->
+    let consume (ev : Rs_behavior.Stream.event) =
+      let d = Reactive.deployed controller ev.branch in
+      score ~taken:ev.taken ~instr:ev.instr d;
+      f ev d;
+      Reactive.observe controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr
+    in
+    (match trace with
+    | Some tr -> Rs_behavior.Trace_store.replay tr consume
+    | None -> Rs_behavior.Stream.iter pop config consume));
   Log.debug (fun m ->
       m "done: correct %d (%.2f%%), incorrect %d (%.4f%%)" !correct
         (100.0 *. float_of_int !correct /. float_of_int config.Rs_behavior.Stream.length)

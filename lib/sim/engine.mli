@@ -19,6 +19,7 @@ val run :
   ?label:string ->
   ?observer:(Rs_behavior.Stream.event -> Rs_core.Types.decision -> unit) ->
   ?on_transition:(Rs_core.Types.transition -> unit) ->
+  ?trace:Rs_behavior.Trace_store.t ->
   Rs_behavior.Population.t ->
   Rs_behavior.Stream.config ->
   Rs_core.Params.t ->
@@ -27,7 +28,16 @@ val run :
     was scored against; [on_transition] fires at every controller
     transition.  Both default to no-ops.  [label] (default empty) tags
     this run's {!Rs_obs.Trace} events — transitions and the end-of-run
-    [engine_run] summary — and costs nothing when tracing is off. *)
+    [engine_run] summary — and costs nothing when tracing is off.
+
+    [trace] replays a prerecorded {!Rs_behavior.Trace_store} trace of
+    the same (population, config) instead of regenerating the stream:
+    the result — counters, misspeculation gaps, controller state,
+    observer/transition hook sequence — is identical, the hot loop just
+    iterates packed chunks at memory speed (no RNG, no behaviour
+    sampling, no per-event boxing when no [observer] is installed).
+    @raise Invalid_argument if the trace does not match the
+    (population, config) pair. *)
 
 val correct_rate : result -> float
 val incorrect_rate : result -> float

@@ -9,7 +9,7 @@ type t = {
 
 type watch = { direction : bool; mutable seen : int; mutable in_dir : int }
 
-let run ?(horizon = 64) ?(per_static = false) pop config params =
+let run ?(horizon = 64) ?(per_static = false) ?trace pop config params =
   let n = Rs_behavior.Population.size pop in
   let watches : watch option array = Array.make n None in
   let sampled = Array.make n false in
@@ -43,7 +43,7 @@ let run ?(horizon = 64) ?(per_static = false) pop config params =
         watches.(ev.branch) <- None
       end
   in
-  let _result = Engine.run ~observer ~on_transition pop config params in
+  let _result = Engine.run ~observer ~on_transition ?trace pop config params in
   Array.iter (function Some w when w.seen >= 16 -> finish w | _ -> ()) watches;
   let histogram = Rs_util.Histogram.create ~bins:20 () in
   List.iter (Rs_util.Histogram.add histogram) !finished;

@@ -22,6 +22,7 @@ type t = {
 val run :
   ?horizon:int ->
   ?per_static:bool ->
+  ?trace:Rs_behavior.Trace_store.t ->
   Rs_behavior.Population.t ->
   Rs_behavior.Stream.config ->
   Rs_core.Params.t ->
@@ -29,4 +30,5 @@ val run :
 (** Default [horizon] is 64 executions, as in the paper.  With
     [per_static] (default false) only the {e first} eviction of each
     static branch is sampled — the paper's Figure 6 reports fractions of
-    static branches, not of evictions. *)
+    static branches, not of evictions.  [trace] is forwarded to
+    {!Engine.run} (replay instead of regeneration; identical results). *)

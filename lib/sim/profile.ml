@@ -21,26 +21,34 @@ let window_index t window =
   in
   go 0
 
-let collect ?(windows = Static.windows) pop config =
+let collect ?(windows = Static.windows) ?trace pop config =
   Array.iteri
     (fun i w ->
       if w <= 0 || (i > 0 && w <= windows.(i - 1)) then
         invalid_arg "Profile.collect: windows must be positive and strictly increasing")
     windows;
+  (match trace with
+  | Some tr when not (Rs_behavior.Trace_store.matches tr pop config) ->
+    invalid_arg "Profile.collect: trace was recorded for a different (population, config)"
+  | _ -> ());
   let n_windows = Array.length windows in
   let n = Rs_behavior.Population.size pop in
   let taken = Array.make n 0 in
   let window_taken = Array.init n_windows (fun _ -> Array.make n (-1)) in
   let next_window = Array.make n 0 in
+  let consume (ev : Rs_behavior.Stream.event) =
+    let b = ev.branch in
+    if ev.taken then taken.(b) <- taken.(b) + 1;
+    let w = next_window.(b) in
+    if w < n_windows && ev.exec_index + 1 = windows.(w) then begin
+      window_taken.(w).(b) <- taken.(b);
+      next_window.(b) <- w + 1
+    end
+  in
   let execs =
-    Rs_behavior.Stream.iter_counted pop config (fun ev ->
-        let b = ev.branch in
-        if ev.taken then taken.(b) <- taken.(b) + 1;
-        let w = next_window.(b) in
-        if w < n_windows && ev.exec_index + 1 = windows.(w) then begin
-          window_taken.(w).(b) <- taken.(b);
-          next_window.(b) <- w + 1
-        end)
+    match trace with
+    | Some tr -> Rs_behavior.Trace_store.replay_counted tr consume
+    | None -> Rs_behavior.Stream.iter_counted pop config consume
   in
   (* Branches that never reached a checkpoint: the "window" is their whole
      life, so a window-trained policy sees exactly their full counts. *)

@@ -10,10 +10,17 @@
 type t
 
 val collect :
-  ?windows:int array -> Rs_behavior.Population.t -> Rs_behavior.Stream.config -> t
+  ?windows:int array ->
+  ?trace:Rs_behavior.Trace_store.t ->
+  Rs_behavior.Population.t ->
+  Rs_behavior.Stream.config ->
+  t
 (** Run the stream once and collect the profile.  [windows] are the
     initial-window checkpoint lengths, strictly increasing (default
-    {!Rs_core.Static.windows}). *)
+    {!Rs_core.Static.windows}).  [trace] replays a prerecorded trace of
+    the same (population, config) instead of regenerating the stream;
+    the resulting profile is identical.
+    @raise Invalid_argument if the trace does not match. *)
 
 val windows : t -> int array
 (** The checkpoint lengths this profile recorded. *)

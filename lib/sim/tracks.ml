@@ -1,13 +1,25 @@
+(* Shared replay-or-generate front door: both collectors accept an
+   optional prerecorded trace and fall back to live generation. *)
+module Replay = struct
+  let iter ?trace pop config f =
+    match trace with
+    | Some tr ->
+      if not (Rs_behavior.Trace_store.matches tr pop config) then
+        invalid_arg "Tracks: trace was recorded for a different (population, config)";
+      Rs_behavior.Trace_store.replay tr f
+    | None -> Rs_behavior.Stream.iter pop config f
+end
+
 module Exec_blocks = struct
   type t = { block : int; series : (int, (int * float) list ref) Hashtbl.t }
 
   type acc = { mutable seen : int; mutable taken : int; mutable blocks : (int * float) list }
 
-  let collect pop config ~branches ~block =
+  let collect ?trace pop config ~branches ~block =
     if block <= 0 then invalid_arg "Exec_blocks.collect: block must be positive";
     let accs = Hashtbl.create 16 in
     List.iter (fun b -> Hashtbl.replace accs b { seen = 0; taken = 0; blocks = [] }) branches;
-    Rs_behavior.Stream.iter pop config (fun ev ->
+    Replay.iter ?trace pop config (fun ev ->
         match Hashtbl.find_opt accs ev.branch with
         | None -> ()
         | Some a ->
@@ -42,14 +54,14 @@ module Intervals = struct
     taken : int array array;
   }
 
-  let collect pop config ~buckets ~min_execs =
+  let collect ?trace pop config ~buckets ~min_execs =
     if buckets <= 0 then invalid_arg "Intervals.collect: buckets must be positive";
     let n = Rs_behavior.Population.size pop in
     let total_instr = Rs_behavior.Stream.total_instructions config in
     let width = max 1 (total_instr / buckets) in
     let execs = Array.init buckets (fun _ -> Array.make n 0) in
     let taken = Array.init buckets (fun _ -> Array.make n 0) in
-    Rs_behavior.Stream.iter pop config (fun ev ->
+    Replay.iter ?trace pop config (fun ev ->
         let k = min (buckets - 1) (ev.instr / width) in
         execs.(k).(ev.branch) <- execs.(k).(ev.branch) + 1;
         if ev.taken then taken.(k).(ev.branch) <- taken.(k).(ev.branch) + 1);

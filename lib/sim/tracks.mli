@@ -11,12 +11,15 @@ module Exec_blocks : sig
   type t
 
   val collect :
+    ?trace:Rs_behavior.Trace_store.t ->
     Rs_behavior.Population.t ->
     Rs_behavior.Stream.config ->
     branches:int list ->
     block:int ->
     t
-  (** Track the given branches; each block covers [block] executions. *)
+  (** Track the given branches; each block covers [block] executions.
+      [trace] replays a prerecorded trace of the same (population,
+      config) instead of regenerating; identical results. *)
 
   val series : t -> int -> (int * float) list
   (** [(block_index, taken_fraction)] pairs for a tracked branch, in
@@ -29,6 +32,7 @@ module Intervals : sig
   type t
 
   val collect :
+    ?trace:Rs_behavior.Trace_store.t ->
     Rs_behavior.Population.t ->
     Rs_behavior.Stream.config ->
     buckets:int ->
@@ -36,7 +40,8 @@ module Intervals : sig
     t
   (** Split the run into [buckets] equal instruction windows and measure
       every branch's bias in each; windows with fewer than [min_execs]
-      executions are treated as inheriting the previous classification. *)
+      executions are treated as inheriting the previous classification.
+      [trace] replays a prerecorded trace instead of regenerating. *)
 
   val flippers : t -> threshold:float -> (int * (int * int) list) list
   (** Branches that have at least one window classified biased

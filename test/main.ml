@@ -17,6 +17,7 @@ let () =
         ("pool", Test_pool.suite);
         ("fault", Test_fault.suite);
         ("behavior", Test_behavior.suite);
+        ("trace-store", Test_trace_store.suite);
         ("core-static", Test_static.suite);
         ("core-reactive", Test_reactive.suite);
         ("sim", Test_sim.suite);

@@ -199,13 +199,28 @@ let test_stream_behavior_independence () =
   check_flip (outcomes 10.0)
 
 let test_stream_invalid () =
+  (* Each public entry point names itself in its guard errors — a bad
+     config raised through [exec_counts] must not blame [iter]. *)
   let pop = mk_pop [ 1.0 ] in
+  let bad_length = { Stream.seed = 0; instr_per_branch = 5.0; length = 0 } in
+  let bad_ipb = { Stream.seed = 0; instr_per_branch = 0.5; length = 1 } in
   Alcotest.check_raises "bad length" (Invalid_argument "Stream.iter: length must be positive")
-    (fun () ->
-      Stream.iter pop { Stream.seed = 0; instr_per_branch = 5.0; length = 0 } ignore);
+    (fun () -> Stream.iter pop bad_length ignore);
   Alcotest.check_raises "bad ipb"
     (Invalid_argument "Stream.iter: instr_per_branch must be >= 1") (fun () ->
-      Stream.iter pop { Stream.seed = 0; instr_per_branch = 0.5; length = 1 } ignore)
+      Stream.iter pop bad_ipb ignore);
+  Alcotest.check_raises "iter_counted bad length"
+    (Invalid_argument "Stream.iter_counted: length must be positive") (fun () ->
+      ignore (Stream.iter_counted pop bad_length ignore : int array));
+  Alcotest.check_raises "iter_counted bad ipb"
+    (Invalid_argument "Stream.iter_counted: instr_per_branch must be >= 1") (fun () ->
+      ignore (Stream.iter_counted pop bad_ipb ignore : int array));
+  Alcotest.check_raises "exec_counts bad length"
+    (Invalid_argument "Stream.exec_counts: length must be positive") (fun () ->
+      ignore (Stream.exec_counts pop bad_length : int array));
+  Alcotest.check_raises "exec_counts bad ipb"
+    (Invalid_argument "Stream.exec_counts: instr_per_branch must be >= 1") (fun () ->
+      ignore (Stream.exec_counts pop bad_ipb : int array))
 
 let suite =
   [

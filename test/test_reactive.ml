@@ -293,6 +293,33 @@ let qcheck_fsm_biased_branch_always_selected =
       done;
       R.selections c 0 = 1 && (R.deployed c 0).speculate && (R.deployed c 0).direction = dir)
 
+let qcheck_step_equals_deployed_observe =
+  (* The fused [step] must return exactly what [deployed] read just
+     before the observation and leave the controller in the same state
+     as the split calls — including under a nonzero optimization
+     latency, where the pending deployment is applied inside the
+     observation itself. *)
+  QCheck.Test.make ~name:"step == deployed; observe" ~count:200
+    QCheck.(pair small_nat (small_list (pair bool (int_bound 20))))
+    (fun (seed, outcomes) ->
+      let params = { tiny with optimization_latency = 25 } in
+      let c1 = R.create ~n_branches:2 params in
+      let c2 = R.create ~n_branches:2 params in
+      let instr = ref 0 in
+      let agree = ref true in
+      List.iteri
+        (fun i (taken, gap) ->
+          instr := !instr + 1 + gap;
+          let branch = (seed + i) mod 2 in
+          let d1 = R.deployed c1 branch in
+          R.observe c1 ~branch ~taken ~instr:!instr;
+          let d2 = R.step c2 ~branch ~taken ~instr:!instr in
+          if d1 <> d2 then agree := false)
+        outcomes;
+      !agree && kinds c1 = kinds c2
+      && R.deployed c1 0 = R.deployed c2 0
+      && R.deployed c1 1 = R.deployed c2 1)
+
 let suite =
   [
     Alcotest.test_case "selection" `Quick test_selection;
@@ -317,4 +344,5 @@ let suite =
     Alcotest.test_case "paper parameters" `Quick test_paper_params_select_and_evict;
     QCheck_alcotest.to_alcotest qcheck_fsm_invariants;
     QCheck_alcotest.to_alcotest qcheck_fsm_biased_branch_always_selected;
+    QCheck_alcotest.to_alcotest qcheck_step_equals_deployed_observe;
   ]
