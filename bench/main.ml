@@ -266,27 +266,28 @@ let run_reproductions () =
     f ctx;
     Printf.printf "(%s took %.1fs cpu)\n%!" name (Sys.time () -. t0)
   in
-  section "table1" Rs_experiments.Table1.print;
-  section "table2" Rs_experiments.Table2.print;
-  section "figure1" Rs_experiments.Figure1.print;
-  section "figure2" Rs_experiments.Figure2.print;
-  section "figure3" Rs_experiments.Figure3.print;
+  let via run render ctx = print_string (render (run ctx)) in
+  section "table1" (via Rs_experiments.Table1.run Rs_experiments.Table1.render);
+  section "table2" (via Rs_experiments.Table2.run Rs_experiments.Table2.render);
+  section "figure1" (fun _ctx -> print_string Rs_experiments.Figure1.(render (run ())));
+  section "figure2" (via Rs_experiments.Figure2.run Rs_experiments.Figure2.render);
+  section "figure3" (via Rs_experiments.Figure3.run Rs_experiments.Figure3.render);
   section "figure5+table4"
     (fun ctx ->
       let f5 = Rs_experiments.Figure5.run ctx in
       print_string (Rs_experiments.Figure5.render f5);
       print_string (Rs_experiments.Table4.render (Rs_experiments.Table4.of_figure5 f5)));
-  section "table3" Rs_experiments.Table3.print;
-  section "figure6" Rs_experiments.Figure6.print;
-  section "figure9" Rs_experiments.Figure9.print;
-  section "table5" Rs_experiments.Table5.print;
-  section "figure7" Rs_experiments.Figure7.print;
-  section "figure8" Rs_experiments.Figure8.print;
-  section "correlation (sec 4.3)" Rs_experiments.Correlation.print;
-  section "ablations" Rs_experiments.Ablations.print;
-  section "breakeven (sec 2.1)" Rs_experiments.Breakeven.print;
-  section "extension: value speculation" Rs_experiments.Extension_values.print;
-  section "paper-claim checklist" Rs_experiments.Claims.print;
+  section "table3" (via Rs_experiments.Table3.run Rs_experiments.Table3.render);
+  section "figure6" (via Rs_experiments.Figure6.run Rs_experiments.Figure6.render);
+  section "figure9" (via Rs_experiments.Figure9.run Rs_experiments.Figure9.render);
+  section "table5" (via Rs_experiments.Table5.run Rs_experiments.Table5.render);
+  section "figure7" (via Rs_experiments.Figure7.run Rs_experiments.Figure7.render);
+  section "figure8" (via Rs_experiments.Figure8.run Rs_experiments.Figure8.render);
+  section "correlation (sec 4.3)" (via Rs_experiments.Correlation.run Rs_experiments.Correlation.render);
+  section "ablations" (via Rs_experiments.Ablations.run Rs_experiments.Ablations.render);
+  section "breakeven (sec 2.1)" (via Rs_experiments.Breakeven.run Rs_experiments.Breakeven.render);
+  section "extension: value speculation" (via Rs_experiments.Extension_values.run Rs_experiments.Extension_values.render);
+  section "paper-claim checklist" (via Rs_experiments.Claims.run Rs_experiments.Claims.render);
   Printf.printf "\n%s\n%!" (Rs_experiments.Cache.describe (Rs_experiments.Cache.stats ()))
 
 (* ---------------------------------------------------------------------- *)

@@ -1,8 +1,15 @@
 (* rspec: reproduce the tables and figures of "Reactive Techniques for
-   Controlling Software Speculation" (CGO 2005). *)
+   Controlling Software Speculation" (CGO 2005).
+
+   Every subcommand is a generic view over [Rs_experiments.Registry]:
+   [list] prints it, [run]/[all] execute selections of it, [export] is a
+   legacy alias for the figure CSV sheets.  Adding an experiment to the
+   registry adds it everywhere here with no change to this file. *)
 
 open Cmdliner
 module E = Rs_experiments
+module R = Rs_experiments.Registry
+module Fsutil = Rs_util.Fsutil
 
 let ctx_term =
   let scale =
@@ -107,65 +114,132 @@ let ctx_term =
     const make $ scale $ seed $ tau $ jobs $ cache_stats $ metrics $ trace $ faults
     $ trace_cache_mb)
 
-let with_header name f ctx =
-  Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx);
-  f ctx;
-  print_newline ()
+let print_header ctx name = Printf.printf "== %s  [%s] ==\n%!" name (E.Context.describe ctx)
 
-let experiments : (string * string * (E.Context.t -> unit)) list =
-  [
-    ("figure1", "Code approximation example (before/after distillation)", E.Figure1.print);
-    ("figure2", "Correct/incorrect speculation trade-off", E.Figure2.print);
-    ("figure3", "Branches with initially invariant behaviour", E.Figure3.print);
-    ("figure5", "Reactive model vs self-training, with sensitivity variants", E.Figure5.print);
-    ("figure6", "Post-eviction misprediction distribution", E.Figure6.print);
-    ("figure7", "MSSP: closed- vs open-loop control", E.Figure7.print);
-    ("figure8", "MSSP: optimization latency sensitivity", E.Figure8.print);
-    ("figure9", "Correlated behaviour changes (vortex)", E.Figure9.print);
-    ("table1", "Profile vs evaluation inputs", E.Table1.print);
-    ("table2", "Model parameters", E.Table2.print);
-    ("table3", "Model transition data", E.Table3.print);
-    ("table4", "Model sensitivity", E.Table4.print);
-    ("table5", "MSSP machine parameters", E.Table5.print);
-    ("ablations", "Design-choice ablation sweeps (hysteresis, periods, cap)", E.Ablations.print);
-    ("correlation", "Section 4.3: branch violations per task squash", E.Correlation.print);
-    ("values", "Extension: load-value speculation under the same controller",
-      E.Extension_values.print);
-    ("breakeven", "Section 2.1: break-even penalty/benefit ratios", E.Breakeven.print);
-    ("claims", "Verdict every headline claim of the paper against this run", E.Claims.print);
-  ]
+let write_file dir filename contents =
+  Fsutil.ensure_dir dir;
+  let path = Filename.concat dir filename in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
-let cmd_of (cmd_name, doc, print) =
-  let action = with_header cmd_name print in
-  Cmd.v (Cmd.info cmd_name ~doc) Term.(const action $ ctx_term)
+(* Run a selection and report failures the way [all] always has: a
+   failing experiment is isolated, reported on stderr, and turns the exit
+   status non-zero after everything else ran. *)
+let execute_selection ctx entries =
+  let results = R.execute_all ctx entries in
+  let failed =
+    List.filter_map
+      (fun (e, r) ->
+        match r with
+        | Ok _ -> None
+        | Error exn ->
+          Printf.eprintf "rspec: %s failed: %s\n%!" (R.name e) (Printexc.to_string exn);
+          Some (R.name e))
+      results
+  in
+  (results, failed)
 
-let m_experiment_failed = Rs_obs.Metrics.counter "experiment.failed"
+let exit_on_failures entries failed =
+  match failed with
+  | [] -> ()
+  | names ->
+    Printf.eprintf "rspec: %d/%d experiments failed: %s\n%!" (List.length names)
+      (List.length entries)
+      (String.concat ", " names);
+    exit 1
+
+let print_texts ctx results =
+  List.iter
+    (fun (e, r) ->
+      print_header ctx (R.name e);
+      match r with
+      | Ok (out : R.output) ->
+        print_string out.text;
+        print_newline ()
+      | Error _ -> ())
+    results
+
+type format = Text | Csv | Json
+
+let emit ctx ~format ~out results =
+  match format with
+  | Text -> (
+    match out with
+    | None -> print_texts ctx results
+    | Some dir ->
+      List.iter
+        (fun (e, r) ->
+          match r with
+          | Ok (o : R.output) -> write_file dir (R.name e ^ ".txt") o.text
+          | Error _ -> ())
+        results)
+  | Csv ->
+    let dir = Option.value out ~default:"figures" in
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Ok o -> List.iter (fun (file, contents) -> write_file dir file contents) (R.csv_files o)
+        | Error _ -> ())
+      results
+  | Json -> (
+    let outputs = List.filter_map (fun (_, r) -> Result.to_option r) results in
+    match out with
+    | None -> print_string (R.json_document ctx outputs)
+    | Some dir ->
+      List.iter
+        (fun (o : R.output) ->
+          write_file dir (R.name o.entry ^ ".json") (R.json_of_output o ^ "\n"))
+        outputs)
+
+let format_conv = Arg.enum [ ("text", Text); ("csv", Csv); ("json", Json) ]
+
+let run_cmd =
+  let names =
+    let doc =
+      "Experiment names or glob patterns ($(b,*) and $(b,?)), e.g. $(b,figure2) or \
+       $(b,'table*'); see $(b,rspec list).  No names selects every experiment."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc)
+  in
+  let format =
+    let doc =
+      "Output format: $(b,text) (the rendered reproduction), $(b,csv) (one file per sheet \
+       of the experiment's row schema), or $(b,json) (one document with the schema, rows \
+       and run context)."
+    in
+    Arg.(value & opt format_conv Text & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let out =
+    let doc =
+      "Write to files under $(docv) instead of stdout (csv defaults to $(b,figures))."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let run ctx names format out =
+    match R.select names with
+    | Error msg ->
+      Printf.eprintf "rspec: %s\n" msg;
+      exit 2
+    | Ok entries ->
+      let results, failed = execute_selection ctx entries in
+      emit ctx ~format ~out results;
+      exit_on_failures entries failed
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a selection of experiments (by name or glob) and emit text, CSV or JSON.  A \
+          failing experiment is isolated and reported on stderr; the rest still run and the \
+          exit status is non-zero.")
+    Term.(const run $ ctx_term $ names $ format $ out)
 
 let all_cmd =
-  (* A throwing experiment is isolated: it is recorded in the metrics and
-     trace layers, reported on stderr, and the remaining experiments
-     still run; the exit status turns non-zero at the end.  With nothing
-     failing, stdout is byte-identical to the plain sequential loop. *)
   let run ctx =
-    let failed = ref [] in
-    List.iter
-      (fun (name, _, print) ->
-        try with_header name print ctx
-        with e ->
-          let msg = Printexc.to_string e in
-          Rs_obs.Metrics.incr m_experiment_failed;
-          if Rs_obs.Trace.enabled () then
-            Rs_obs.Trace.emit "experiment" [ S ("name", name); S ("error", msg) ];
-          Printf.eprintf "rspec: %s failed: %s\n%!" name msg;
-          failed := name :: !failed)
-      experiments;
-    match List.rev !failed with
-    | [] -> ()
-    | names ->
-      Printf.eprintf "rspec: %d/%d experiments failed: %s\n%!" (List.length names)
-        (List.length experiments)
-        (String.concat ", " names);
-      exit 1
+    let results, failed = execute_selection ctx R.all in
+    print_texts ctx results;
+    exit_on_failures R.all failed
   in
   Cmd.v
     (Cmd.info "all"
@@ -183,22 +257,39 @@ let export_cmd =
       & info [ "dir" ] ~docv:"DIR" ~doc:"Directory to write the CSV series into.")
   in
   let run ctx dir =
-    let written = E.Export.run ctx ~dir in
-    List.iter (Printf.printf "wrote %s\n") written
+    let entries =
+      List.filter_map R.find [ "figure2"; "figure5"; "figure6"; "figure7"; "figure8" ]
+    in
+    let results, failed = execute_selection ctx entries in
+    emit ctx ~format:Csv ~out:(Some dir) results;
+    exit_on_failures entries failed
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Write the raw series behind the figures as CSV files")
+    (Cmd.info "export"
+       ~doc:
+         "Write the raw series behind the figures as CSV files (alias for $(b,run \
+          'figure[25678]' --format csv))")
     Term.(const run $ ctx_term $ dir)
 
 let list_cmd =
   let run () =
-    List.iter (fun (name, doc, _) -> Printf.printf "%-9s %s\n" name doc) experiments
+    List.iter (fun e -> Printf.printf "%-9s %s\n" (R.name e) (R.description e)) R.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List available reproductions") Term.(const run $ const ())
+
+(* One subcommand per registry entry, so `rspec figure2` keeps working. *)
+let cmd_of entry =
+  let action ctx =
+    print_header ctx (R.name entry);
+    let out = R.execute ctx entry in
+    print_string out.text;
+    print_newline ()
+  in
+  Cmd.v (Cmd.info (R.name entry) ~doc:(R.description entry)) Term.(const action $ ctx_term)
 
 let main =
   let doc = "reproduce 'Reactive Techniques for Controlling Software Speculation' (CGO 2005)" in
   let info = Cmd.info "rspec" ~version:"1.0.0" ~doc in
-  Cmd.group info (list_cmd :: all_cmd :: export_cmd :: List.map cmd_of experiments)
+  Cmd.group info (list_cmd :: all_cmd :: run_cmd :: export_cmd :: List.map cmd_of R.all)
 
 let () = exit (Cmd.eval main)

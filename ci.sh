@@ -53,6 +53,42 @@ echo "== fault stress (trace_store.record site) =="
 RS_FAULTS="seed=3,rate=0.8,max_raises=1,sites=cache:trace_store,delay=0.2,delay_us=300,delay_sites=pool" \
   timeout 600 ./_build/default/test/main.exe test fault
 
+# Registry stage: the CLI, docs and test snapshots must agree on the
+# experiment registry.  `rspec list` is diffed against the generated
+# index in EXPERIMENTS.md, every listed experiment must have a golden
+# snapshot under test/golden/, and a JSON export of the cheap entries
+# must validate under jq (schema arity: every row as long as its
+# column list).
+echo "== registry (list / golden coverage / json smoke) =="
+dune build bin/main.exe
+RSPEC=./_build/default/bin/main.exe
+RSPEC_LIST=$(mktemp /tmp/rs_rspec_list.XXXXXX)
+"$RSPEC" list > "$RSPEC_LIST"
+awk '/<!-- BEGIN rspec list -->/{f=1;next}/<!-- END rspec list -->/{f=0}f' EXPERIMENTS.md \
+  | sed '/^```/d' > "$RSPEC_LIST.doc"
+if ! diff -u "$RSPEC_LIST.doc" "$RSPEC_LIST"; then
+  echo "EXPERIMENTS.md experiment index is stale: paste \`rspec list\` output between the markers" >&2
+  exit 1
+fi
+while read -r name _; do
+  if [[ ! -f "test/golden/$name.txt" ]]; then
+    echo "missing golden snapshot test/golden/$name.txt (RS_UPDATE_GOLDEN=1 dune runtest --force)" >&2
+    exit 1
+  fi
+done < "$RSPEC_LIST"
+RSPEC_JSON=$(mktemp /tmp/rs_rspec_smoke.XXXXXX.json)
+timeout 600 "$RSPEC" run table1 table2 table5 figure1 \
+  --format json --scale 0.02 --tau 10 --jobs 1 > "$RSPEC_JSON"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.experiments | length == 4' "$RSPEC_JSON" >/dev/null
+  jq -e '[.experiments[].tables[] | (.columns | length) as $n | .rows[] | length == $n] | all' \
+    "$RSPEC_JSON" >/dev/null
+  echo "registry json ok: $(jq -c '.context' "$RSPEC_JSON")"
+else
+  echo "registry json written ($RSPEC_JSON); jq not installed, skipping assertions"
+fi
+rm -f "$RSPEC_JSON" "$RSPEC_LIST" "$RSPEC_LIST.doc"
+
 # Bench smoke: the JSON mode at a tiny sampling quota and context.  This
 # is not a performance gate — it only asserts the harness runs, the JSON
 # parses and every kernel (including the trace-replay pair) reported.

@@ -134,5 +134,3 @@ let render t =
     \  monitor periods trade benefit for fewer false positives; the oscillation cap cuts\n\
     \  re-optimization requests by about two-thirds with little effect on the rates.\n";
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

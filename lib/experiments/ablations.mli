@@ -31,4 +31,3 @@ val benchmarks : string list
 
 val run : Context.t -> t
 val render : t -> string
-val print : Context.t -> unit

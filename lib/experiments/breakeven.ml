@@ -64,5 +64,3 @@ let render t =
   Table.render tbl
   ^ "  paper: reactive control sustains penalties two orders of magnitude above the\n\
     \  per-speculation benefit; an open loop cannot.\n"
-
-let print ctx = print_string (render (run ctx))

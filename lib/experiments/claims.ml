@@ -132,5 +132,3 @@ let render t =
   Buffer.add_string buf
     (Printf.sprintf "  %d / %d claims reproduced\n" n_pass (List.length t.verdicts));
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

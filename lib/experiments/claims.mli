@@ -18,4 +18,3 @@ type t = { verdicts : verdict list }
 val run : Context.t -> t
 val all_pass : t -> bool
 val render : t -> string
-val print : Context.t -> unit

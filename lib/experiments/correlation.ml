@@ -63,5 +63,3 @@ let render t =
   Table.render tbl
   ^ "  paper: the task misspeculation rate is noticeably lower than the abstract model\n\
     \  predicts because several failed speculations can share one task squash.\n"
-
-let print ctx = print_string (render (run ctx))

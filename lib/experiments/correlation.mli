@@ -17,4 +17,3 @@ type t = { rows : row list }
 
 val run : Context.t -> t
 val render : t -> string
-val print : Context.t -> unit

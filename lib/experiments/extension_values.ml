@@ -216,5 +216,3 @@ let render t =
   ^ "  the same FSM controls value speculation: invariant loads get their constants,\n\
     \  phase-changing loads are evicted and re-learned with the new constant, and the\n\
     \  open loop keeps substituting stale constants after values move on.\n"
-
-let print ctx = print_string (render (run ctx))

@@ -28,4 +28,3 @@ val run : ?n_sites:int -> ?events:int -> Context.t -> t
 (** Defaults: 160 sites, 4M loads. *)
 
 val render : t -> string
-val print : Context.t -> unit

@@ -47,5 +47,3 @@ let render t =
       Printf.sprintf
         "verified: distilled == original on %d assumption-consistent random inputs" n
     | Error e -> "VERIFICATION FAILED: " ^ e)
-
-let print (_ : Context.t) = print_string (render (run ()))

@@ -15,4 +15,3 @@ type t = {
 
 val run : unit -> t
 val render : t -> string
-val print : Context.t -> unit

@@ -58,7 +58,7 @@ let run ctx =
   { rows = Array.to_list rows }
 
 let fmt_point (p : point) =
-  Printf.sprintf "(%5.2f%% @ %8.5f%%)" (p.correct *. 100.0) (p.incorrect *. 100.0)
+  Table.fmt_rate_pair ~decimals:2 ~parens:true ~correct:p.correct ~incorrect:p.incorrect ()
 
 let render t =
   let buf = Buffer.create 4096 in
@@ -100,5 +100,3 @@ let render t =
        (knee_c /. Float.max off_c 1e-9)
        (off_i /. Float.max knee_i 1e-12));
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

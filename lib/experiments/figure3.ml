@@ -75,5 +75,3 @@ let render t =
   Buffer.add_string buf
     "  paper: all five gap branches are ~100% biased for >= 20,000 executions, then change.\n";
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

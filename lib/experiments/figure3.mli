@@ -15,4 +15,3 @@ val run : ?benchmark:string -> ?count:int -> Context.t -> t
 (** Default benchmark is gap, default [count] 5 tracks. *)
 
 val render : t -> string
-val print : Context.t -> unit

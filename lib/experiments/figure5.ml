@@ -47,7 +47,7 @@ let averages t =
       (key, { correct = sum (fun c -> c.correct) /. n; incorrect = sum (fun c -> c.incorrect) /. n }))
     t.variant_order
 
-let fmt_cell c = Printf.sprintf "%5.1f%% @ %8.5f%%" (c.correct *. 100.0) (c.incorrect *. 100.0)
+let fmt_cell c = Table.fmt_rate_pair ~correct:c.correct ~incorrect:c.incorrect ()
 
 let render t =
   let buf = Buffer.create 8192 in
@@ -78,5 +78,3 @@ let render t =
        (noev.incorrect /. Float.max base.incorrect 1e-12)
        (100.0 *. norv.correct /. Float.max base.correct 1e-12));
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

@@ -31,4 +31,3 @@ val averages : t -> (string * cell) list
 (** Per-variant unweighted averages over benchmarks (Table 4's rows). *)
 
 val render : t -> string
-val print : Context.t -> unit

@@ -61,5 +61,3 @@ let render t =
        \  perfectly reversed (<5%%):        %.0f%%   (paper: ~20%%)\n"
        t.samples (t.below_30pct *. 100.0) (t.reversed *. 100.0));
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

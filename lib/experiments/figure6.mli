@@ -16,4 +16,3 @@ type t = {
 
 val run : Context.t -> t
 val render : t -> string
-val print : Context.t -> unit

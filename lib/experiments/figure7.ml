@@ -94,5 +94,3 @@ let render t =
        (paper: ~11%%)\n"
       ((c1 -. o1) /. c1 *. 100.0)
       ((c10 -. o10) /. c10 *. 100.0)
-
-let print ctx = print_string (render (run ctx))

@@ -23,7 +23,6 @@ type t = { rows : row list }
 
 val run : Context.t -> t
 val render : t -> string
-val print : Context.t -> unit
 
 val mssp_params : monitor:int -> closed:bool -> Rs_core.Params.t
 (** The controller configuration used for the MSSP runs: Table 2 values

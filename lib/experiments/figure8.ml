@@ -64,5 +64,3 @@ let render t =
   ^ Printf.sprintf
       "  degradation at 10^6 cycles: %.1f%% (paper: < 2%%; the model is latency tolerant)\n"
       ((a0 -. a2) /. a0 *. 100.0)
-
-let print ctx = print_string (render (run ctx))

@@ -39,5 +39,3 @@ let render t =
        "  flipping branches: %d (paper: 139 in vortex at full scale; groups change together)\n"
        (List.length t.flippers));
   Buffer.contents buf
-
-let print ctx = print_string (render (run ctx))

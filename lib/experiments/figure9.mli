@@ -14,4 +14,3 @@ type t = {
 
 val run : ?benchmark:string -> Context.t -> t
 val render : t -> string
-val print : Context.t -> unit

@@ -6,5 +6,18 @@
     strong-branch coverage gap.  This table prints both the paper's
     input pairs and the synthetic parameters that substitute for them. *)
 
-val render : Context.t -> string
-val print : Context.t -> unit
+type row = {
+  benchmark : string;
+  profile_input : string;  (** The paper's profiling input. *)
+  eval_input : string;  (** The paper's evaluation input. *)
+  dyn_length : string;  (** Dynamic run length as published (e.g. "19B"). *)
+  input_dep : int;  (** Synthetic substitute: input-dependent branches. *)
+  coverage_gap : float;
+      (** Synthetic substitute: fraction of strong branches the profile
+          input leaves unexercised. *)
+}
+
+type t = { rows : row list }
+
+val run : Context.t -> t
+val render : t -> string

@@ -1,33 +1,44 @@
 module Table = Rs_util.Table
 module P = Rs_core.Params
 
-let render ctx =
+type row = { parameter : string; paper : string; this_run : string }
+
+type t = { rows : row list; tau : int }
+
+let run (ctx : Context.t) =
   let paper = P.default in
   let used = Context.params ctx in
-  let t =
+  let row parameter paper this_run = { parameter; paper; this_run } in
+  {
+    tau = ctx.tau;
+    rows =
+      [
+        row "monitor period (executions)" (Table.fmt_int paper.monitor_period)
+          (Table.fmt_int used.monitor_period);
+        row "selection threshold"
+          (Table.fmt_pct ~decimals:1 paper.selection_threshold)
+          (Table.fmt_pct ~decimals:1 used.selection_threshold);
+        row "misspeculation threshold"
+          (Printf.sprintf "%s (+%d misp., -%d)" (Table.fmt_int paper.evict_threshold)
+             paper.misspec_step paper.correct_step)
+          (Printf.sprintf "%s (+%d misp., -%d)" (Table.fmt_int used.evict_threshold)
+             used.misspec_step used.correct_step);
+        row "wait period (executions)" (Table.fmt_int paper.wait_period)
+          (Table.fmt_int used.wait_period);
+        row "oscillation threshold"
+          (Printf.sprintf "will not optimize a %dth time" (paper.oscillation_limit + 1))
+          (Printf.sprintf "will not optimize a %dth time" (used.oscillation_limit + 1));
+        row "optimization latency (instructions)"
+          (Table.fmt_int paper.optimization_latency)
+          (Table.fmt_int used.optimization_latency);
+      ];
+  }
+
+let render t =
+  let tbl =
     Table.create ~title:"Table 2: model parameters"
       ~columns:[ ("parameter", Table.Left); ("paper", Table.Right); ("this run", Table.Right) ]
   in
-  let row name a b = Table.add_row t [ name; a; b ] in
-  row "monitor period (executions)" (Table.fmt_int paper.monitor_period)
-    (Table.fmt_int used.monitor_period);
-  row "selection threshold"
-    (Table.fmt_pct ~decimals:1 paper.selection_threshold)
-    (Table.fmt_pct ~decimals:1 used.selection_threshold);
-  row "misspeculation threshold"
-    (Printf.sprintf "%s (+%d misp., -%d)" (Table.fmt_int paper.evict_threshold)
-       paper.misspec_step paper.correct_step)
-    (Printf.sprintf "%s (+%d misp., -%d)" (Table.fmt_int used.evict_threshold) used.misspec_step
-       used.correct_step);
-  row "wait period (executions)" (Table.fmt_int paper.wait_period)
-    (Table.fmt_int used.wait_period);
-  row "oscillation threshold"
-    (Printf.sprintf "will not optimize a %dth time" (paper.oscillation_limit + 1))
-    (Printf.sprintf "will not optimize a %dth time" (used.oscillation_limit + 1));
-  row "optimization latency (instructions)"
-    (Table.fmt_int paper.optimization_latency)
-    (Table.fmt_int used.optimization_latency);
-  Table.render t
-  ^ Printf.sprintf "  (time axis compressed by tau=%d; ratios of Table 2 preserved)\n" ctx.tau
-
-let print ctx = print_string (render ctx)
+  List.iter (fun r -> Table.add_row tbl [ r.parameter; r.paper; r.this_run ]) t.rows;
+  Table.render tbl
+  ^ Printf.sprintf "  (time axis compressed by tau=%d; ratios of Table 2 preserved)\n" t.tau

@@ -1,5 +1,13 @@
 (** Table 2: the model parameters, both as published and on the context's
     compressed clock. *)
 
-val render : Context.t -> string
-val print : Context.t -> unit
+type row = {
+  parameter : string;
+  paper : string;  (** The published value, as printed. *)
+  this_run : string;  (** The value on the context's compressed clock. *)
+}
+
+type t = { rows : row list; tau : int }
+
+val run : Context.t -> t
+val render : t -> string

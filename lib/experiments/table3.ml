@@ -79,5 +79,3 @@ let render t =
       Printf.sprintf "%s | 65,000" (Table.fmt_int (int_of_float avg.misspec_distance));
     ];
   Table.render tbl
-
-let print ctx = print_string (render (run ctx))

@@ -16,4 +16,3 @@ type t = { rows : row list; scale : float }
 
 val run : Context.t -> t
 val render : t -> string
-val print : Context.t -> unit

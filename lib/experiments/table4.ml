@@ -47,5 +47,3 @@ let render t =
     t.rows paper_values;
   Table.render tbl
   ^ "  paper: only no-revisit and no-eviction truly differ from the baseline.\n"
-
-let print ctx = print_string (render (run ctx))

@@ -7,7 +7,10 @@ type row = { label : string; correct : float; incorrect : float }
 type t = { rows : row list }
 (** In the paper's order: most conservative first, no-eviction last. *)
 
+val paper_values : (string * (float * float)) list
+(** The published Table 4, [(variant key, (correct%, incorrect%))], in
+    row order (values are percentages as printed in the paper). *)
+
 val of_figure5 : Figure5.t -> t
 val run : Context.t -> t
 val render : t -> string
-val print : Context.t -> unit

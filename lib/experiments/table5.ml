@@ -1,34 +1,38 @@
 module Table = Rs_util.Table
 
-let render (_ : Context.t) =
+type row = { parameter : string; leading : string; trailing : string }
+
+type t = { rows : row list }
+
+let run (_ : Context.t) =
   let c = Rs_mssp.Config.default in
-  let t =
+  let row parameter leading trailing = { parameter; leading; trailing } in
+  {
+    rows =
+      [
+        row "pipeline"
+          (Printf.sprintf "%d-wide, %d-stage" c.leading.width c.leading.pipeline_depth)
+          (Printf.sprintf "%d-wide, %d-stage (x%d)" c.trailing.width c.trailing.pipeline_depth
+             c.n_trailing);
+        row "effective IPC"
+          (Printf.sprintf "%.1f" c.leading.effective_ipc)
+          (Printf.sprintf "%.1f" c.trailing.effective_ipc);
+        row "branch predictor"
+          (Printf.sprintf "gshare, %d entries" (1 lsl c.predictor_bits))
+          "same";
+        row "coherence hop" (Printf.sprintf "%d cycles" c.coherence_hop) "same";
+        row "task overhead / recovery"
+          (Printf.sprintf "%d / %d cycles" c.task_overhead c.recovery_penalty)
+          "";
+        row "in-flight tasks" (string_of_int c.max_inflight_tasks) "";
+      ];
+  }
+
+let render t =
+  let tbl =
     Table.create ~title:"Table 5: MSSP machine parameters (first-order model)"
       ~columns:
         [ ("parameter", Table.Left); ("leading core", Table.Right); ("trailing cores", Table.Right) ]
   in
-  Table.add_row t
-    [
-      "pipeline";
-      Printf.sprintf "%d-wide, %d-stage" c.leading.width c.leading.pipeline_depth;
-      Printf.sprintf "%d-wide, %d-stage (x%d)" c.trailing.width c.trailing.pipeline_depth
-        c.n_trailing;
-    ];
-  Table.add_row t
-    [
-      "effective IPC";
-      Printf.sprintf "%.1f" c.leading.effective_ipc;
-      Printf.sprintf "%.1f" c.trailing.effective_ipc;
-    ];
-  Table.add_row t
-    [ "branch predictor"; Printf.sprintf "gshare, %d entries" (1 lsl c.predictor_bits); "same" ];
-  Table.add_row t
-    [ "coherence hop"; Printf.sprintf "%d cycles" c.coherence_hop; "same" ];
-  Table.add_row t
-    [ "task overhead / recovery";
-      Printf.sprintf "%d / %d cycles" c.task_overhead c.recovery_penalty; "" ];
-  Table.add_row t
-    [ "in-flight tasks"; string_of_int c.max_inflight_tasks; "" ];
-  Table.render t
-
-let print ctx = print_string (render ctx)
+  List.iter (fun r -> Table.add_row tbl [ r.parameter; r.leading; r.trailing ]) t.rows;
+  Table.render tbl

@@ -1,5 +1,13 @@
 (** Table 5: MSSP simulation parameters (printed from the machine
     configuration actually used). *)
 
-val render : Context.t -> string
-val print : Context.t -> unit
+type row = {
+  parameter : string;
+  leading : string;  (** Leading-core value, as printed. *)
+  trailing : string;  (** Trailing-core value ("" where not applicable). *)
+}
+
+type t = { rows : row list }
+
+val run : Context.t -> t
+val render : t -> string

@@ -29,3 +29,9 @@ let render t =
 let save t path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
+
+let float_field x =
+  if Float.is_finite x then Printf.sprintf "%.6f" x
+  else if Float.is_nan x then "nan"
+  else if x > 0.0 then "inf"
+  else "-inf"

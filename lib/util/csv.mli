@@ -15,3 +15,10 @@ val render : t -> string
 
 val save : t -> string -> unit
 (** [save t path] writes [render t] to [path]. *)
+
+val float_field : float -> string
+(** The canonical numeric-field format shared by every machine-readable
+    emitter (CSV and JSON): six decimals for finite values, and the
+    literals ["inf"], ["-inf"], ["nan"] otherwise (JSON maps those to
+    [null]).  Using one helper keeps the two formats bit-for-bit in
+    agreement on precision. *)

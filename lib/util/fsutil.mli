@@ -1,0 +1,9 @@
+(** Small filesystem helpers for the export paths. *)
+
+val ensure_dir : string -> unit
+(** [ensure_dir dir] creates [dir] and any missing parents, like
+    [mkdir -p].  Tolerates concurrent creation: losing a [mkdir] race to
+    another domain or process is not an error as long as the directory
+    exists afterwards.
+    @raise Sys_error when creation genuinely fails (permissions, or a
+    path component exists as a regular file). *)

@@ -83,6 +83,12 @@ let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
 
 let fmt_pct ?(decimals = 2) x = Printf.sprintf "%.*f%%" decimals (x *. 100.0)
 
+let fmt_rate_pair ?(decimals = 1) ?(parens = false) ~correct ~incorrect () =
+  let core =
+    Printf.sprintf "%5.*f%% @ %8.5f%%" decimals (correct *. 100.0) (incorrect *. 100.0)
+  in
+  if parens then "(" ^ core ^ ")" else core
+
 let fmt_int n =
   let s = string_of_int (abs n) in
   let len = String.length s in

@@ -31,3 +31,9 @@ val fmt_pct : ?decimals:int -> float -> string
 
 val fmt_int : int -> string
 (** Thousands-separated integer. *)
+
+val fmt_rate_pair :
+  ?decimals:int -> ?parens:bool -> correct:float -> incorrect:float -> unit -> string
+(** The "correct% @ misspec%" pair every rate table prints:
+    [%5.<decimals>f%% @ %8.5f%%] over the two fractions scaled to
+    percentages, optionally parenthesised.  [decimals] defaults to 1. *)

@@ -26,5 +26,6 @@ let () =
         ("distill", Test_distill.suite);
         ("mssp", Test_mssp.suite);
         ("experiments", Test_experiments.suite);
+        ("registry", Test_registry.suite);
         ("golden", Test_golden.suite);
       ]

@@ -1,8 +1,8 @@
 (* Golden-snapshot regression tests.
 
-   figure2 and table3 run at a small fixed (seed=7, scale=0.02, tau=10)
-   and their full rendered output is diffed byte-for-byte against the
-   checked-in snapshots in test/golden/.  Any change to the controller,
+   Every registry entry runs at a small fixed (seed=7, scale=0.02,
+   tau=10) and its full rendered output is diffed byte-for-byte against
+   the checked-in snapshots in test/golden/.  Any change to the controller,
    the workloads, the simulator or the table renderer that shifts a
    single digit fails here with a unified diff.
 
@@ -87,11 +87,17 @@ let check_golden name content =
         name (show_diff expected content)
   end
 
-let test_figure2 () = check_golden "figure2.txt" (E.Figure2.render (E.Figure2.run (ctx ())))
-let test_table3 () = check_golden "table3.txt" (E.Table3.render (E.Table3.run (ctx ())))
+(* One test per registry entry; the context is shared so the
+   process-global artifact cache works across entries exactly as it does
+   under `rspec all`. *)
+let shared_ctx = lazy (ctx ())
+
+let test_entry entry () =
+  check_golden
+    (E.Registry.name entry ^ ".txt")
+    (E.Registry.execute (Lazy.force shared_ctx) entry).text
 
 let suite =
-  [
-    Alcotest.test_case "figure2 golden" `Slow test_figure2;
-    Alcotest.test_case "table3 golden" `Slow test_table3;
-  ]
+  List.map
+    (fun e -> Alcotest.test_case (E.Registry.name e ^ " golden") `Slow (test_entry e))
+    E.Registry.all

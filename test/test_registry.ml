@@ -1,0 +1,146 @@
+(* Registry invariants (see registry.mli): the static shape of the
+   registry — unique well-formed names, unique CSV filenames, sane glob
+   selection — plus, at a small scale, that every entry executes, renders
+   non-empty text and produces sheet rows matching its declared schema in
+   arity and kind.
+
+   The execution context matches test_golden's (seed=7, scale=0.02,
+   tau=10, jobs=1) on purpose: this suite runs first and warms the
+   process-global artifact cache, so the golden suite's re-runs mostly
+   replay cached simulations. *)
+
+module E = Rs_experiments
+module R = Rs_experiments.Registry
+
+let ctx = lazy (E.Context.create ~seed:7 ~scale:0.02 ~tau:10 ~jobs:1 ())
+
+let names = List.map R.name R.all
+
+let test_unique_names () =
+  Alcotest.(check int) "at least the 18 paper artifacts" 18 (List.length R.all);
+  Alcotest.(check int)
+    "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let name_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+
+let test_name_charset () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S well-formed" n)
+        true
+        (n <> "" && String.for_all name_char n))
+    names
+
+let sheet_names (R.Entry s) = List.map (fun (sh : _ R.sheet) -> sh.sheet) s.sheets
+
+let test_unique_csv_filenames () =
+  let files =
+    List.concat_map
+      (fun e -> List.map (fun sh -> R.name e ^ "_" ^ sh ^ ".csv") (sheet_names e))
+      R.all
+  in
+  Alcotest.(check int)
+    "csv filenames unique across the registry" (List.length files)
+    (List.length (List.sort_uniq compare files))
+
+let test_find () =
+  List.iter
+    (fun n ->
+      match R.find n with
+      | Some e -> Alcotest.(check string) "find round-trips" n (R.name e)
+      | None -> Alcotest.failf "find %S returned nothing" n)
+    names;
+  Alcotest.(check bool) "find unknown" true (R.find "nonesuch" = None)
+
+let test_glob () =
+  let m p s = R.glob_matches ~pattern:p s in
+  Alcotest.(check bool) "literal" true (m "figure2" "figure2");
+  Alcotest.(check bool) "literal mismatch" false (m "figure2" "figure3");
+  Alcotest.(check bool) "star prefix" true (m "table*" "table5");
+  Alcotest.(check bool) "star alone" true (m "*" "anything");
+  Alcotest.(check bool) "star infix" true (m "f*9" "figure9");
+  Alcotest.(check bool) "question" true (m "figure?" "figure8");
+  Alcotest.(check bool) "question needs a char" false (m "figure?" "figure");
+  Alcotest.(check bool) "no partial match" false (m "figure" "figure2")
+
+let test_select () =
+  (match R.select [] with
+  | Ok es -> Alcotest.(check int) "empty selects all" (List.length R.all) (List.length es)
+  | Error e -> Alcotest.fail e);
+  (match R.select [ "table*" ] with
+  | Ok es ->
+    Alcotest.(check (list string))
+      "tables in registry order"
+      [ "table1"; "table2"; "table3"; "table4"; "table5" ]
+      (List.map R.name es)
+  | Error e -> Alcotest.fail e);
+  (match R.select [ "figure2"; "fig*" ] with
+  | Ok es ->
+    Alcotest.(check bool)
+      "overlapping patterns collapse duplicates" true
+      (List.length es = List.length (List.sort_uniq compare (List.map R.name es)))
+  | Error e -> Alcotest.fail e);
+  match R.select [ "figure2"; "bogus*" ] with
+  | Ok _ -> Alcotest.fail "unmatched pattern must be an error"
+  | Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "error names the pattern" true (contains msg "bogus")
+
+let kind_matches (k : R.kind) (v : R.value) =
+  match (k, v) with
+  | _, R.Null -> true
+  | R.Str, R.S _ | R.Int, R.I _ | R.Float, R.F _ | R.Bool, R.B _ -> true
+  | _ -> false
+
+let check_output entry (out : R.output) =
+  let n = R.name entry in
+  Alcotest.(check bool) (n ^ " renders non-empty") true (String.length out.text > 0);
+  List.iter
+    (fun (sheet, columns, rows) ->
+      Alcotest.(check bool) (Printf.sprintf "%s/%s has columns" n sheet) true (columns <> []);
+      List.iteri
+        (fun i row ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s row %d arity" n sheet i)
+            (List.length columns) (List.length row);
+          List.iter2
+            (fun (c : R.column) v ->
+              if not (kind_matches c.kind v) then
+                Alcotest.failf "%s/%s row %d column %s: value does not match kind %s" n sheet
+                  i c.col
+                  (match c.kind with
+                  | R.Str -> "string"
+                  | R.Int -> "int"
+                  | R.Float -> "float"
+                  | R.Bool -> "bool"))
+            columns row)
+        rows)
+    out.tables
+
+let test_execute_entry entry () =
+  let out = R.execute (Lazy.force ctx) entry in
+  check_output entry out;
+  Alcotest.(check bool)
+    ("experiment.runs." ^ R.name entry ^ " bumped")
+    true
+    (Rs_obs.Metrics.counter_value (Rs_obs.Metrics.counter ("experiment.runs." ^ R.name entry))
+    >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "names unique" `Quick test_unique_names;
+    Alcotest.test_case "names well-formed" `Quick test_name_charset;
+    Alcotest.test_case "csv filenames unique" `Quick test_unique_csv_filenames;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "glob" `Quick test_glob;
+    Alcotest.test_case "select" `Quick test_select;
+  ]
+  @ List.map
+      (fun e -> Alcotest.test_case (R.name e ^ " schema") `Slow (test_execute_entry e))
+      R.all

@@ -198,6 +198,30 @@ let test_csv () =
   Alcotest.check_raises "arity" (Invalid_argument "Csv.add_row: arity mismatch") (fun () ->
       Csv.add_row c [ "x" ])
 
+let test_float_field () =
+  Alcotest.(check string) "finite" "0.123457" (Csv.float_field 0.1234567);
+  Alcotest.(check string) "integral" "2.000000" (Csv.float_field 2.0);
+  Alcotest.(check string) "inf" "inf" (Csv.float_field infinity);
+  Alcotest.(check string) "-inf" "-inf" (Csv.float_field neg_infinity);
+  Alcotest.(check string) "nan" "nan" (Csv.float_field nan)
+
+let test_ensure_dir () =
+  let base = Filename.temp_file "rs_fsutil" "" in
+  Sys.remove base;
+  let deep = Filename.concat (Filename.concat base "a") "b" in
+  Rs_util.Fsutil.ensure_dir deep;
+  Alcotest.(check bool) "creates parents" true (Sys.is_directory deep);
+  (* Idempotent on an existing directory (the EEXIST path). *)
+  Rs_util.Fsutil.ensure_dir deep;
+  Alcotest.(check bool) "idempotent" true (Sys.is_directory deep);
+  Rs_util.Fsutil.ensure_dir ".";
+  let file = Filename.concat deep "f" in
+  let oc = open_out file in
+  close_out oc;
+  match Rs_util.Fsutil.ensure_dir file with
+  | () -> Alcotest.fail "ensure_dir over a regular file must raise"
+  | exception Sys_error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "sat counter basics" `Quick test_sat_basic;
@@ -216,6 +240,8 @@ let suite =
     Alcotest.test_case "table formats" `Quick test_table_formats;
     Alcotest.test_case "csv" `Quick test_csv;
     Alcotest.test_case "csv save" `Quick test_csv_save;
+    Alcotest.test_case "csv float_field" `Quick test_float_field;
+    Alcotest.test_case "fsutil ensure_dir" `Quick test_ensure_dir;
     Alcotest.test_case "histogram add_many" `Quick test_hist_add_many;
     Alcotest.test_case "fmt_int edges" `Quick test_fmt_int_edge;
     Alcotest.test_case "table render stable" `Quick test_render_stable;
