@@ -78,10 +78,12 @@ let bench_profile () =
   let p = Rs_sim.Profile.collect pop stream_cfg in
   Rs_sim.Profile.total_events p
 
+let small_profile = lazy (Rs_sim.Profile.collect (Lazy.force small_pop) stream_cfg)
+
 let bench_pareto () =
-  let pop = Lazy.force small_pop in
-  let p = Rs_sim.Profile.collect pop stream_cfg in
-  Array.length (Rs_sim.Pareto.curve p)
+  (* figure2 kernel: the frontier computation alone, over a prebuilt
+     profile (profile collection is the kernel above) *)
+  Array.length (Rs_sim.Pareto.curve (Lazy.force small_profile))
 
 let bench_tracks () =
   (* figure3 / figure9 kernel *)
@@ -110,8 +112,17 @@ let mssp_instance =
        { (Rs_mssp.Workload.find "gzip") with tasks = 5_000 }
        ~seed:11)
 
+let bench_mssp_build () =
+  (* figure7 / figure8 / table5 build kernel: workload instantiation
+     (region models, site behaviours) without running the machine *)
+  let inst =
+    Rs_mssp.Workload.instantiate { (Rs_mssp.Workload.find "gzip") with tasks = 5_000 } ~seed:11
+  in
+  inst.Rs_mssp.Workload.n_sites
+
 let bench_mssp () =
-  (* figure7 / figure8 / table5 kernel: a short MSSP run *)
+  (* figure7 / figure8 / table5 run kernel: a short MSSP run over the
+     prebuilt instance *)
   let inst = Lazy.force mssp_instance in
   let params = Rs_experiments.Figure7.mssp_params ~monitor:1_000 ~closed:true in
   let s = Rs_mssp.Machine.run inst ~seed:5 ~params in
@@ -187,6 +198,7 @@ let kernels : (string * (unit -> int)) list =
     ("figure5+table3+4/reactive-run-replay", bench_reactive_replay);
     ("figure6/eviction-watch", bench_eviction_watch);
     ("figure1/distill", bench_distill);
+    ("figure7+8+table5/mssp-build", bench_mssp_build);
     ("figure7+8+table5/mssp-run", bench_mssp);
     ("substrate/stream-generation", bench_stream);
     ("substrate/trace-record", bench_trace_record);
@@ -210,17 +222,25 @@ type kernel_estimate = {
   k_name : string;
   ns_per_run : float option;
   minor_words_per_run : float option;
+  major_words_per_run : float option;
+  promoted_words_per_run : float option;
 }
 
-(* Run every kernel through bechamel once and OLS-fit both measures:
-   nanoseconds and minor-heap words per run. *)
+(* Run every kernel through bechamel once and OLS-fit every measure:
+   nanoseconds plus minor, major and promoted heap words per run.  The
+   allocation trio is the zero-allocation story in one line: minor is
+   per-event churn, major is deliberate flat-buffer allocation, promoted
+   is minor traffic that survived a collection. *)
 let measure_kernels () =
   (* prime outside the samples: the first cached-profile call pays the
      collection and would dominate the OLS estimate *)
   ignore (Lazy.force cache_ctx : Rs_experiments.Context.t);
   ignore (Lazy.force small_trace : Rs_behavior.Trace_store.t);
+  ignore (Lazy.force small_profile : Rs_sim.Profile.t);
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated; promoted ]
+  in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second (quota_s ())) ~kde:None () in
   List.map
     (fun (name, fn) ->
@@ -236,17 +256,23 @@ let measure_kernels () =
         k_name = name;
         ns_per_run = estimate Instance.monotonic_clock;
         minor_words_per_run = estimate Instance.minor_allocated;
+        major_words_per_run = estimate Instance.major_allocated;
+        promoted_words_per_run = estimate Instance.promoted;
       })
     kernels
 
 let run_microbenchmarks () =
   print_endline "== microbenchmarks (per kernel run; OLS on monotonic clock) ==";
   List.iter
-    (fun { k_name; ns_per_run; minor_words_per_run } ->
+    (fun { k_name; ns_per_run; minor_words_per_run; major_words_per_run; promoted_words_per_run }
+       ->
       match ns_per_run with
       | Some ns ->
-        Printf.printf "  %-36s %12.0f ns/run %12.0f mnr-w/run\n%!" k_name ns
+        Printf.printf "  %-36s %12.0f ns/run %10.0f mnr-w %10.0f mjr-w %8.0f prm-w\n%!" k_name
+          ns
           (Option.value ~default:0.0 minor_words_per_run)
+          (Option.value ~default:0.0 major_words_per_run)
+          (Option.value ~default:0.0 promoted_words_per_run)
       | None -> Printf.printf "  %-36s (no estimate)\n%!" k_name)
     (measure_kernels ())
 
@@ -359,10 +385,16 @@ let run_json file =
        scale tau (quota_s ()));
   Buffer.add_string buf "  \"kernels\": [\n";
   List.iteri
-    (fun i { k_name; ns_per_run; minor_words_per_run } ->
+    (fun i
+         { k_name; ns_per_run; minor_words_per_run; major_words_per_run; promoted_words_per_run }
+       ->
       Buffer.add_string buf
-        (Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s, \
+            \"major_words_per_run\": %s, \"promoted_words_per_run\": %s }%s\n"
            (json_escape k_name) (json_float ns_per_run) (json_float minor_words_per_run)
+           (json_float major_words_per_run)
+           (json_float promoted_words_per_run)
            (if i = List.length estimates - 1 then "" else ",")))
     estimates;
   Buffer.add_string buf "  ],\n";

@@ -89,19 +89,36 @@ else
 fi
 rm -f "$RSPEC_JSON" "$RSPEC_LIST" "$RSPEC_LIST.doc"
 
-# Bench smoke: the JSON mode at a tiny sampling quota and context.  This
-# is not a performance gate — it only asserts the harness runs, the JSON
-# parses and every kernel (including the trace-replay pair) reported.
+# Bench smoke: the JSON mode at a tiny sampling quota and context.
+# Asserts the harness runs, the JSON parses, every kernel (including the
+# trace-replay pair) reported — and, the one performance property cheap
+# enough to gate on, that the zero-allocation kernels stay (near-)free
+# of minor-heap allocation: timing is machine-dependent, an OLS
+# words-per-run fit is not.
 echo "== bench smoke (--json) =="
 dune build bench/main.exe
 BENCH_JSON=$(mktemp /tmp/rs_bench_smoke.XXXXXX.json)
 RS_BENCH_QUOTA=0.02 RS_SCALE=0.01 \
   timeout 600 ./_build/default/bench/main.exe --json "$BENCH_JSON"
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.kernels | length >= 15' "$BENCH_JSON" >/dev/null
+  jq -e '.kernels | length >= 16' "$BENCH_JSON" >/dev/null
   jq -e '.kernels | map(.name) | (index("substrate/trace-replay") != null) and
          (index("substrate/stream-generation") != null)' "$BENCH_JSON" >/dev/null
   jq -e '.experiments[0].identical_output == true' "$BENCH_JSON" >/dev/null
+  ZERO_ALLOC_KERNELS='["table1+2/workload-build","substrate/trace-replay",
+    "runner/pool-map","runner/cached-profile","runner/parallel-all",
+    "figure2/profile-pass","figure2/pareto-curve","figure3+9/bias-tracks",
+    "figure5+table3+4/reactive-run","figure5+table3+4/reactive-run-replay",
+    "figure6/eviction-watch"]'
+  jq -e --argjson names "$ZERO_ALLOC_KERNELS" '
+      [.kernels[] | select(.name as $n | $names | index($n) != null)
+       | .minor_words_per_run]
+      | (length == ($names | length)) and all(. != null and . <= 1000)' \
+    "$BENCH_JSON" >/dev/null \
+    || { echo "zero-alloc gate failed: a kernel reports > 1000 minor words/run" >&2
+         jq --argjson names "$ZERO_ALLOC_KERNELS" \
+           '[.kernels[] | select(.name as $n | $names | index($n) != null)]' "$BENCH_JSON" >&2
+         exit 1; }
   echo "bench json ok: $(jq -c '.context' "$BENCH_JSON")"
 else
   echo "bench json written ($BENCH_JSON); jq not installed, skipping assertions"

@@ -40,8 +40,14 @@ let p_taken t ~exec_index ~instr =
     in
     if n = 0 then 0.5 else find 0
 
+(* Per-event in every stream generator: Prng.bernoulli inlined via
+   [unit_bits]/[two53] (bit-identical, see Prng.below) so the probability
+   never crosses a function boundary as a boxed float argument. *)
 let sample t ~rng ~exec_index ~instr =
-  Rs_util.Prng.bernoulli rng (p_taken t ~exec_index ~instr)
+  let p = p_taken t ~exec_index ~instr in
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else float_of_int (Rs_util.Prng.unit_bits rng) < p *. Rs_util.Prng.two53
 
 let mean_bias t ~horizon =
   if horizon <= 0 then 0.5

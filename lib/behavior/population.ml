@@ -56,8 +56,14 @@ module Alias = struct
     flush large;
     { prob; alias }
 
+  (* One draw per event in every stream generator: the acceptance test is
+     [Prng.float rng 1.0 < prob.(i)] spelled via [unit_bits]/[two53]
+     (bit-identical, see Prng.below) so no float crosses a function
+     boundary and the draw allocates nothing. *)
   let draw s rng =
     let n = Array.length s.prob in
     let i = Rs_util.Prng.int rng n in
-    if Rs_util.Prng.float rng 1.0 < s.prob.(i) then i else s.alias.(i)
+    if float_of_int (Rs_util.Prng.unit_bits rng) < Array.unsafe_get s.prob i *. Rs_util.Prng.two53
+    then i
+    else Array.unsafe_get s.alias i
 end

@@ -12,7 +12,14 @@ let validate ~caller config =
   if config.instr_per_branch < 1.0 then
     invalid_arg (caller ^ ": instr_per_branch must be >= 1")
 
-let iter_counted_as ~caller pop config f =
+(* The one generator loop everything layers on.  The consumer receives
+   plain integers and a bool, so a pass that does not need boxed events
+   (packed trace recording, the simulator's chunk encoder) allocates
+   nothing per event: the fractional-instruction carry lives in a float
+   array cell (a [float ref] would box a fresh float per store on the
+   non-flambda compiler), and the alias draw and behaviour sample are
+   allocation-free (see Population.Alias.draw / Behavior.sample). *)
+let iter_raw_as ~caller pop config f =
   validate ~caller config;
   let root = Rs_util.Prng.create config.seed in
   let pick_rng = Rs_util.Prng.split root in
@@ -25,28 +32,38 @@ let iter_counted_as ~caller pop config f =
      long-run rate exactly [instr_per_branch] without an extra RNG draw. *)
   let base = int_of_float config.instr_per_branch in
   let frac = config.instr_per_branch -. float_of_int base in
-  let carry = ref 0.0 in
+  let carry = Array.make 1 0.0 in
   let instr = ref 0 in
   for _ = 1 to config.length do
     let b = Population.Alias.draw sampler pick_rng in
     let step =
-      carry := !carry +. frac;
-      if !carry >= 1.0 then begin
-        carry := !carry -. 1.0;
+      let c = Array.unsafe_get carry 0 +. frac in
+      if c >= 1.0 then begin
+        Array.unsafe_set carry 0 (c -. 1.0);
         base + 1
       end
-      else base
+      else begin
+        Array.unsafe_set carry 0 c;
+        base
+      end
     in
     instr := !instr + step;
-    let exec_index = exec.(b) in
-    exec.(b) <- exec_index + 1;
+    let exec_index = Array.unsafe_get exec b in
+    Array.unsafe_set exec b (exec_index + 1);
     let spec = Population.spec pop b in
     let taken =
-      Behavior.sample spec.behavior ~rng:branch_rngs.(b) ~exec_index ~instr:!instr
+      Behavior.sample spec.behavior ~rng:(Array.unsafe_get branch_rngs b) ~exec_index
+        ~instr:!instr
     in
-    f { branch = b; taken; exec_index; instr = !instr }
+    f ~branch:b ~taken ~exec_index ~instr:!instr
   done;
   exec
+
+let iter_counted_as ~caller pop config f =
+  iter_raw_as ~caller pop config (fun ~branch ~taken ~exec_index ~instr ->
+      f { branch; taken; exec_index; instr })
+
+let iter_raw pop config f = iter_raw_as ~caller:"Stream.iter_raw" pop config f
 
 let iter_counted pop config f = iter_counted_as ~caller:"Stream.iter_counted" pop config f
 
@@ -54,4 +71,5 @@ let iter pop config f =
   ignore (iter_counted_as ~caller:"Stream.iter" pop config f : int array)
 
 let exec_counts pop config =
-  iter_counted_as ~caller:"Stream.exec_counts" pop config (fun _ -> ())
+  iter_raw_as ~caller:"Stream.exec_counts" pop config
+    (fun ~branch:_ ~taken:_ ~exec_index:_ ~instr:_ -> ())

@@ -31,6 +31,15 @@ val iter : Population.t -> config -> (event -> unit) -> unit
     [instr_per_branch < 1]; the message names the entry point that was
     actually called ([iter], [iter_counted] or [exec_counts]). *)
 
+val iter_raw :
+  Population.t -> config -> (branch:int -> taken:bool -> exec_index:int -> instr:int -> unit) -> int array
+(** The generator underneath {!iter}/{!iter_counted}, delivering each
+    event as plain integers and returning the per-branch execution
+    totals.  The loop allocates nothing per event — no event record, no
+    boxed float — so consumers that re-encode events (packed trace
+    recording) keep the whole generation pass off the minor heap.  The
+    event values are exactly {!iter_counted}'s, field for field. *)
+
 val iter_counted : Population.t -> config -> (event -> unit) -> int array
 (** Like {!iter}, and additionally returns the per-branch execution
     totals the generator maintained during that same pass.  Consumers

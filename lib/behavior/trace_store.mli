@@ -75,9 +75,42 @@ val matches : t -> Population.t -> Stream.config -> bool
 
 val chunk_size : int
 val iter_packed : t -> (int array -> int -> unit) -> unit
+
+val fold_packed_chunks : t -> init:'a -> ('a -> int array -> int -> 'a) -> 'a
+(** [fold_packed_chunks t ~init f] threads an accumulator through
+    [f acc chunk len] for each chunk in order — the batch decode entry
+    point: one call per 32k-event chunk, everything per-event is
+    mask-and-shift on immediate integers inside the consumer's own loop
+    (no closure per event, no boxing). *)
+
 val packed_branch : int -> int
 val packed_taken : int -> bool
 val packed_delta : int -> int
+
+(** {2 Automatic record-then-replay}
+
+    Simulation entry points called {e without} an explicit trace hand
+    their (population, config) pair to {!auto}: the stream is recorded
+    once (keyed on the population's {e physical} identity plus the
+    structural config, held in a small bounded FIFO of
+    {!auto_capacity} entries) and every later pass over the same pair
+    decodes the packed chunks instead of regenerating.  Replay is exact,
+    so this is invisible except in speed. *)
+
+val auto : Population.t -> Stream.config -> t option
+(** The memoized trace for this (population, config), recording on
+    first sight — or [None] when automatic replay is disabled
+    ({!set_auto} [false], or a zero trace-cache capacity). *)
+
+val auto_capacity : int
+
+val set_auto : bool -> unit
+(** Kill switch for {!auto} (default enabled).  Disabling makes
+    trace-less simulation runs regenerate their stream live — results
+    are identical either way; the switch exists for honest
+    regeneration-vs-replay timing comparisons. *)
+
+val auto_enabled : unit -> bool
 
 (** {2 The process-global LRU} *)
 

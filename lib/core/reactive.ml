@@ -1,83 +1,124 @@
-type phase = Monitoring | Biased | Unbiased | Disabled
+(* Packed-integer implementation of the Figure 4(b) controller.
 
-type bstate = {
-  mutable phase : phase;
-  mutable execs : int;
-  (* monitor state *)
-  mutable mon_seen : int;
-  mutable mon_taken : int;
-  mutable stride_pos : int;
-  (* biased state *)
-  mutable direction : bool;
-  mutable counter : int;
-  mutable smp_pos : int;
-  mutable smp_misses : int;
-  (* unbiased state *)
-  mutable wait_left : int;
-  (* deployment: what the running code does, plus one pending request *)
-  mutable dep_spec : bool;
-  mutable dep_dir : bool;
-  mutable pend_at : int; (* instruction count of activation; -1 = none *)
-  mutable pend_spec : bool;
-  mutable pend_dir : bool;
-  (* lifetime counters *)
-  mutable selections : int;
-  mutable evictions : int;
-}
+   Per-branch state lives in one flat Bigarray of [slots] ints per
+   branch instead of a heap record per branch: the simulator's hot loop
+   touches nothing the GC scans, and a [step] is pure integer
+   arithmetic whose result is one of four shared decision records.
+
+   Word layout, [base = branch * slots]:
+
+     +0  ctrl        bits 0-1 phase (0 monitor / 1 biased / 2 unbiased /
+                     3 disabled), bit 2 biased direction, bit 3 deployed
+                     speculate, bit 4 deployed direction, bit 5 pending
+                     speculate, bit 6 pending direction
+     +1  execs
+     +2  scratch A   mon_seen | eviction counter | wait_left
+     +3  scratch B   mon_taken | sampled-window position
+     +4  scratch C   monitor stride position | sampled misses
+     +5  pending activation instruction count (-1 = none)
+     +6  selections
+     +7  evictions
+
+   Scratch slots are shared across phases because every entry arc resets
+   its own scratch, exactly as the old record version's [enter_*]
+   helpers did.  Transitions — orders of magnitude rarer than
+   observations — are packed three ints each ((branch lsl 3) lor kind,
+   instr, exec_index) into a growable buffer; boxed transition records
+   are built only for an installed [on_transition] hook and by the
+   [transitions] accessor. *)
+
+module A1 = Bigarray.Array1
+
+type state_table = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+
+let slots = 8
+let s_ctrl = 0
+let s_execs = 1
+let s_a = 2
+let s_b = 3
+let s_c = 4
+let s_pend_at = 5
+let s_selections = 6
+let s_evictions = 7
+
+(* ctrl-word fields *)
+let phase_biased = 1
+let phase_unbiased = 2
+let phase_disabled = 3
+let bit_direction = 4
+let dep_shift = 3
+let pend_shift = 5
 
 type t = {
   params : Params.t;
   monitor_samples : int;
-  states : bstate array;
-  mutable transitions_rev : Types.transition list;
-  on_transition : Types.transition -> unit;
+  n_branches : int;
+  state : state_table;
+  mutable tr_buf : int array;  (* packed transitions, 3 ints each *)
+  mutable tr_len : int;
+  on_transition : (Types.transition -> unit) option;
+  mutable last_instr : int;
 }
 
-let fresh_state () =
-  {
-    phase = Monitoring;
-    execs = 0;
-    mon_seen = 0;
-    mon_taken = 0;
-    stride_pos = 0;
-    direction = false;
-    counter = 0;
-    smp_pos = 0;
-    smp_misses = 0;
-    wait_left = 0;
-    dep_spec = false;
-    dep_dir = false;
-    pend_at = -1;
-    pend_spec = false;
-    pend_dir = false;
-    selections = 0;
-    evictions = 0;
-  }
+let[@inline] get t i = A1.unsafe_get t.state i
+let[@inline] set t i v = A1.unsafe_set t.state i v
 
-let create ?(on_transition = fun _ -> ()) ~n_branches params =
+let create ?on_transition ~n_branches params =
   (match Params.validate params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Reactive.create: " ^ msg));
   if n_branches <= 0 then invalid_arg "Reactive.create: n_branches must be positive";
+  let state = A1.create Bigarray.Int Bigarray.C_layout (n_branches * slots) in
+  A1.fill state 0;
+  for b = 0 to n_branches - 1 do
+    A1.set state ((b * slots) + s_pend_at) (-1)
+  done;
   {
     params;
     monitor_samples = Params.monitor_samples params;
-    states = Array.init n_branches (fun _ -> fresh_state ());
-    transitions_rev = [];
+    n_branches;
+    state;
+    tr_buf = Array.make 512 0;
+    tr_len = 0;
     on_transition;
+    last_instr = min_int;
   }
 
 let params t = t.params
-let n_branches t = Array.length t.states
+let n_branches t = t.n_branches
 
-let deployed t b =
-  let st = t.states.(b) in
-  { Types.speculate = st.dep_spec; direction = st.dep_dir }
+(* The four possible decisions, preallocated and shared: bit 0 of a
+   decision code is [speculate], bit 1 is [direction]. *)
+let decisions =
+  [|
+    { Types.speculate = false; direction = false };
+    { Types.speculate = true; direction = false };
+    { Types.speculate = false; direction = true };
+    { Types.speculate = true; direction = true };
+  |]
 
-let transitions t = List.rev t.transitions_rev
-let selections t b = t.states.(b).selections
-let evictions t b = t.states.(b).evictions
-let touched t b = t.states.(b).execs > 0
+let decision_of_code code = Array.unsafe_get decisions (code land 3)
+
+let[@inline] check_branch t ~caller b =
+  if b < 0 || b >= t.n_branches then invalid_arg (caller ^ ": branch out of range")
+
+let deployed_code t b =
+  check_branch t ~caller:"Reactive.deployed" b;
+  (get t ((b * slots) + s_ctrl) lsr dep_shift) land 3
+
+let deployed t b = decision_of_code (deployed_code t b)
+
+let selections t b =
+  check_branch t ~caller:"Reactive.selections" b;
+  get t ((b * slots) + s_selections)
+
+let evictions t b =
+  check_branch t ~caller:"Reactive.evictions" b;
+  get t ((b * slots) + s_evictions)
+
+let touched t b =
+  check_branch t ~caller:"Reactive.touched" b;
+  get t ((b * slots) + s_execs) > 0
 
 (* One counter per state arc of Figure 4(b); transitions are orders of
    magnitude rarer than observations, so the stripe increment is noise. *)
@@ -87,152 +128,209 @@ let m_evicted = Rs_obs.Metrics.counter "reactive.transitions.evicted"
 let m_revisited = Rs_obs.Metrics.counter "reactive.transitions.revisited"
 let m_capped = Rs_obs.Metrics.counter "reactive.transitions.capped"
 
-let arc_counter = function
-  | Types.Selected -> m_selected
-  | Types.Declared_unbiased -> m_unbiased
-  | Types.Evicted -> m_evicted
-  | Types.Revisited -> m_revisited
-  | Types.Capped -> m_capped
+(* Transition kinds as small ints, indexing the packed buffer and the
+   arc counters. *)
+let k_selected = 0
+let k_unbiased = 1
+let k_evicted = 2
+let k_revisited = 3
+let k_capped = 4
+let arc_counters = [| m_selected; m_unbiased; m_evicted; m_revisited; m_capped |]
 
-let record t branch st instr kind =
-  let tr = { Types.branch; instr; exec_index = st.execs; kind } in
-  t.transitions_rev <- tr :: t.transitions_rev;
-  Rs_obs.Metrics.incr (arc_counter kind);
-  t.on_transition tr
+let kind_of_code = function
+  | 0 -> Types.Selected
+  | 1 -> Types.Declared_unbiased
+  | 2 -> Types.Evicted
+  | 3 -> Types.Revisited
+  | _ -> Types.Capped
+
+let transitions t =
+  let out = ref [] in
+  let i = ref (t.tr_len - 3) in
+  while !i >= 0 do
+    let w = t.tr_buf.(!i) in
+    out :=
+      {
+        Types.branch = w lsr 3;
+        instr = t.tr_buf.(!i + 1);
+        exec_index = t.tr_buf.(!i + 2);
+        kind = kind_of_code (w land 7);
+      }
+      :: !out;
+    i := !i - 3
+  done;
+  !out
+
+let record t ~branch ~instr code =
+  let execs = get t ((branch * slots) + s_execs) in
+  if t.tr_len + 3 > Array.length t.tr_buf then begin
+    let grown = Array.make (2 * Array.length t.tr_buf) 0 in
+    Array.blit t.tr_buf 0 grown 0 t.tr_len;
+    t.tr_buf <- grown
+  end;
+  let buf = t.tr_buf in
+  buf.(t.tr_len) <- (branch lsl 3) lor code;
+  buf.(t.tr_len + 1) <- instr;
+  buf.(t.tr_len + 2) <- execs;
+  t.tr_len <- t.tr_len + 3;
+  Rs_obs.Metrics.incr (Array.unsafe_get arc_counters code);
+  match t.on_transition with
+  | None -> ()
+  | Some f -> f { Types.branch; instr; exec_index = execs; kind = kind_of_code code }
 
 (* Request a code change: it becomes the deployed behaviour
    [optimization_latency] instructions from now.  A newer request
-   supersedes an in-flight one (the re-optimizer works on the most recent
-   characterization). *)
-let request t st ~instr ~speculate ~direction =
+   supersedes an in-flight one (the re-optimizer works on the most
+   recent characterization).  [code] is a decision code. *)
+let request t base ~instr ~code =
   if t.params.optimization_latency = 0 then begin
-    st.dep_spec <- speculate;
-    st.dep_dir <- direction;
-    st.pend_at <- -1
+    set t (base + s_ctrl)
+      ((get t (base + s_ctrl) land lnot (3 lsl dep_shift)) lor (code lsl dep_shift));
+    set t (base + s_pend_at) (-1)
   end
   else begin
-    st.pend_at <- instr + t.params.optimization_latency;
-    st.pend_spec <- speculate;
-    st.pend_dir <- direction
+    set t (base + s_pend_at) (instr + t.params.optimization_latency);
+    set t (base + s_ctrl)
+      ((get t (base + s_ctrl) land lnot (3 lsl pend_shift)) lor (code lsl pend_shift))
   end
 
-let enter_monitor st =
-  st.phase <- Monitoring;
-  st.mon_seen <- 0;
-  st.mon_taken <- 0;
-  st.stride_pos <- 0
+let enter_monitor t base =
+  set t (base + s_ctrl) (get t (base + s_ctrl) land lnot 3);
+  set t (base + s_a) 0;
+  set t (base + s_b) 0;
+  set t (base + s_c) 0
 
-let enter_unbiased t st =
-  st.phase <- Unbiased;
-  st.wait_left <- t.params.wait_period
-
-let enter_biased t st ~direction ~instr =
-  st.phase <- Biased;
-  st.direction <- direction;
-  st.counter <- 0;
-  st.smp_pos <- 0;
-  st.smp_misses <- 0;
-  st.selections <- st.selections + 1;
-  request t st ~instr ~speculate:true ~direction
-
-let evict t branch st ~instr =
-  st.evictions <- st.evictions + 1;
-  record t branch st instr Types.Evicted;
-  enter_monitor st;
-  request t st ~instr ~speculate:false ~direction:false
+let evict t branch base ~instr =
+  set t (base + s_evictions) (get t (base + s_evictions) + 1);
+  record t ~branch ~instr k_evicted;
+  enter_monitor t base;
+  request t base ~instr ~code:0
 
 (* Close a monitoring interval and classify the branch. *)
-let classify t branch st ~instr =
-  let taken = st.mon_taken and seen = st.mon_seen in
+let classify t branch base ~instr =
+  let taken = get t (base + s_b) and seen = get t (base + s_a) in
   let majority = max taken (seen - taken) in
   let bias = float_of_int majority /. float_of_int seen in
   if bias >= t.params.selection_threshold then begin
-    if st.selections >= t.params.oscillation_limit then begin
-      st.phase <- Disabled;
-      record t branch st instr Types.Capped;
-      if st.dep_spec || st.pend_at >= 0 then
-        request t st ~instr ~speculate:false ~direction:false
+    if get t (base + s_selections) >= t.params.oscillation_limit then begin
+      set t (base + s_ctrl) ((get t (base + s_ctrl) land lnot 3) lor phase_disabled);
+      record t ~branch ~instr k_capped;
+      if (get t (base + s_ctrl) lsr dep_shift) land 1 = 1 || get t (base + s_pend_at) >= 0
+      then request t base ~instr ~code:0
     end
     else begin
       let direction = taken * 2 >= seen in
-      enter_biased t st ~direction ~instr;
-      record t branch st instr Types.Selected
+      let dir_bit = if direction then bit_direction else 0 in
+      set t (base + s_ctrl)
+        ((get t (base + s_ctrl) land lnot (3 lor bit_direction)) lor phase_biased lor dir_bit);
+      set t (base + s_a) 0;
+      set t (base + s_b) 0;
+      set t (base + s_c) 0;
+      set t (base + s_selections) (get t (base + s_selections) + 1);
+      request t base ~instr ~code:(if direction then 3 else 1);
+      record t ~branch ~instr k_selected
     end
   end
   else begin
-    enter_unbiased t st;
-    record t branch st instr Types.Declared_unbiased
+    set t (base + s_ctrl) ((get t (base + s_ctrl) land lnot 3) lor phase_unbiased);
+    set t (base + s_a) t.params.wait_period;
+    record t ~branch ~instr k_unbiased
   end
 
-let observe_biased t branch st ~taken ~instr =
-  if not st.dep_spec then ()
+let observe_biased t branch base ctrl ~taken ~instr =
+  if (ctrl lsr dep_shift) land 1 = 0 then ()
     (* The new code is not deployed yet; the paper does not count correct
        or incorrect speculations during the optimization latency. *)
   else begin
     match t.params.eviction_mode with
     | Params.Continuous ->
       if t.params.enable_eviction then begin
+        let direction = ctrl land bit_direction <> 0 in
+        let c0 = get t (base + s_a) in
         let c =
-          if taken <> st.direction then st.counter + t.params.misspec_step
-          else st.counter - t.params.correct_step
+          if taken <> direction then c0 + t.params.misspec_step
+          else c0 - t.params.correct_step
         in
-        st.counter <- (if c < 0 then 0 else c);
-        if st.counter >= t.params.evict_threshold then evict t branch st ~instr
+        let c = if c < 0 then 0 else c in
+        set t (base + s_a) c;
+        if c >= t.params.evict_threshold then evict t branch base ~instr
       end
     | Params.Sampled { window; samples } ->
       if t.params.enable_eviction then begin
-        if st.smp_pos < samples && taken <> st.direction then
-          st.smp_misses <- st.smp_misses + 1;
-        st.smp_pos <- st.smp_pos + 1;
-        if st.smp_pos = samples then begin
-          let bias =
-            float_of_int (samples - st.smp_misses) /. float_of_int samples
-          in
-          if bias < t.params.evict_bias then evict t branch st ~instr
-          else st.smp_misses <- 0
+        let direction = ctrl land bit_direction <> 0 in
+        let pos = get t (base + s_b) in
+        if pos < samples && taken <> direction then
+          set t (base + s_c) (get t (base + s_c) + 1);
+        let pos = pos + 1 in
+        set t (base + s_b) pos;
+        if pos = samples then begin
+          let misses = get t (base + s_c) in
+          let bias = float_of_int (samples - misses) /. float_of_int samples in
+          if bias < t.params.evict_bias then evict t branch base ~instr
+          else set t (base + s_c) 0
         end
-        else if st.smp_pos >= window then begin
-          st.smp_pos <- 0;
-          st.smp_misses <- 0
+        else if pos >= window then begin
+          set t (base + s_b) 0;
+          set t (base + s_c) 0
         end
       end
   end
 
-let observe_state t branch st ~taken ~instr =
-  if st.pend_at >= 0 && instr >= st.pend_at then begin
-    st.dep_spec <- st.pend_spec;
-    st.dep_dir <- st.pend_dir;
-    st.pend_at <- -1
+let observe_state t branch base ~taken ~instr =
+  let pend_at = get t (base + s_pend_at) in
+  if pend_at >= 0 && instr >= pend_at then begin
+    let ctrl = get t (base + s_ctrl) in
+    set t (base + s_ctrl)
+      ((ctrl land lnot (3 lsl dep_shift)) lor (((ctrl lsr pend_shift) land 3) lsl dep_shift));
+    set t (base + s_pend_at) (-1)
   end;
-  (match st.phase with
-  | Monitoring ->
-    st.stride_pos <- st.stride_pos + 1;
-    if st.stride_pos >= t.params.monitor_stride then begin
-      st.stride_pos <- 0;
-      st.mon_seen <- st.mon_seen + 1;
-      if taken then st.mon_taken <- st.mon_taken + 1;
-      if st.mon_seen >= t.monitor_samples then classify t branch st ~instr
+  let ctrl = get t (base + s_ctrl) in
+  (match ctrl land 3 with
+  | 0 (* Monitoring *) ->
+    let stride = get t (base + s_c) + 1 in
+    if stride >= t.params.monitor_stride then begin
+      set t (base + s_c) 0;
+      let seen = get t (base + s_a) + 1 in
+      set t (base + s_a) seen;
+      if taken then set t (base + s_b) (get t (base + s_b) + 1);
+      if seen >= t.monitor_samples then classify t branch base ~instr
     end
-  | Biased -> observe_biased t branch st ~taken ~instr
-  | Unbiased ->
+    else set t (base + s_c) stride
+  | 1 (* Biased *) -> observe_biased t branch base ctrl ~taken ~instr
+  | 2 (* Unbiased *) ->
     if t.params.enable_revisit then begin
-      st.wait_left <- st.wait_left - 1;
-      if st.wait_left <= 0 then begin
-        enter_monitor st;
-        record t branch st instr Types.Revisited
+      let wait = get t (base + s_a) - 1 in
+      set t (base + s_a) wait;
+      if wait <= 0 then begin
+        enter_monitor t base;
+        record t ~branch ~instr k_revisited
       end
     end
-  | Disabled -> ());
-  st.execs <- st.execs + 1
+  | _ (* Disabled *) -> ());
+  set t (base + s_execs) (get t (base + s_execs) + 1)
 
-let observe t ~branch ~taken ~instr = observe_state t branch t.states.(branch) ~taken ~instr
+(* Entry-point guards: branch range (the table is accessed unsafely) and
+   the documented non-decreasing-instr precondition, each reported under
+   the entry point actually called, matching the Stream guard style. *)
+let[@inline] check t ~caller ~branch ~instr =
+  if branch < 0 || branch >= t.n_branches then invalid_arg (caller ^ ": branch out of range");
+  if instr < t.last_instr then
+    invalid_arg (caller ^ ": instruction counts must be non-decreasing across calls");
+  t.last_instr <- instr
+
+let observe t ~branch ~taken ~instr =
+  check t ~caller:"Reactive.observe" ~branch ~instr;
+  observe_state t branch (branch * slots) ~taken ~instr
 
 (* [deployed] followed by [observe], fused into a single state lookup.
    The decision is read before the observation (and before any pending
    deployment this event's [instr] activates inside it), so the caller
    scores against exactly what [deployed] would have returned. *)
-let step t ~branch ~taken ~instr =
-  let st = t.states.(branch) in
-  let d = { Types.speculate = st.dep_spec; direction = st.dep_dir } in
-  observe_state t branch st ~taken ~instr;
-  d
+let step_code t ~branch ~taken ~instr =
+  check t ~caller:"Reactive.step" ~branch ~instr;
+  let base = branch * slots in
+  let code = (get t (base + s_ctrl) lsr dep_shift) land 3 in
+  observe_state t branch base ~taken ~instr;
+  code
+
+let step t ~branch ~taken ~instr = decision_of_code (step_code t ~branch ~taken ~instr)

@@ -43,7 +43,10 @@ val deployed : t -> int -> Types.decision
 val observe : t -> branch:int -> taken:bool -> instr:int -> unit
 (** Feed one execution of [branch] with outcome [taken] at global
     instruction count [instr].  Instruction counts must be
-    non-decreasing across calls. *)
+    non-decreasing across calls.
+    @raise Invalid_argument if [instr] is below the previous call's (the
+    precondition is checked, naming the entry point, in the style of the
+    {!Stream} config guards) or [branch] is out of range. *)
 
 val step : t -> branch:int -> taken:bool -> instr:int -> Types.decision
 (** [deployed] followed by [observe], fused into one per-branch state
@@ -51,7 +54,22 @@ val step : t -> branch:int -> taken:bool -> instr:int -> Types.decision
     the observation (in particular, before a pending deployment this
     event activates takes effect).  The simulator's hot loop uses this
     to halve the per-event state round-trips; the split calls remain
-    for drivers that interleave work between the read and the update. *)
+    for drivers that interleave work between the read and the update.
+    The result is one of four shared, physically-equal decision records
+    — never a fresh allocation.
+    @raise Invalid_argument as {!observe} (named [Reactive.step]). *)
+
+val step_code : t -> branch:int -> taken:bool -> instr:int -> int
+(** {!step} returning the decision as a 2-bit code — bit 0 [speculate],
+    bit 1 [direction] — so a batch consumer can score events with pure
+    integer arithmetic.  [step t ...] is [decision_of_code (step_code t ...)]. *)
+
+val deployed_code : t -> int -> int
+(** {!deployed} as a 2-bit code, same encoding as {!step_code}. *)
+
+val decision_of_code : int -> Types.decision
+(** The shared decision record for a {!step_code} result (the low two
+    bits of the argument). *)
 
 val transitions : t -> Types.transition list
 (** All transitions so far, oldest first. *)

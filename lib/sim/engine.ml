@@ -23,9 +23,64 @@ let m_incorrect = Rs_obs.Metrics.counter "engine.incorrect"
 let h_wall =
   Rs_obs.Metrics.histogram "engine.wall_seconds" ~bounds:[| 0.01; 0.1; 1.0; 10.0; 60.0 |]
 
-let run ?(label = "") ?observer ?on_transition ?trace pop config params =
+type batch = {
+  b_controller : Reactive.t;
+  mutable b_instr : int;
+  mutable b_correct : int;
+  mutable b_incorrect : int;
+  mutable b_last_misspec : int;
+  b_gaps : Rs_util.Running_stats.t;
+}
+
+let batch controller =
+  {
+    b_controller = controller;
+    b_instr = 0;
+    b_correct = 0;
+    b_incorrect = 0;
+    b_last_misspec = 0;
+    b_gaps = Rs_util.Running_stats.create ();
+  }
+
+(* The batched hot loop: one call per packed chunk, and per event
+   nothing but mask-and-shift decode, a fused controller step and
+   integer scoring — no event record, no decision record, no RNG, no
+   behaviour sampling.  The gap statistic is the only non-integer
+   touch and fires once per misspeculation, not per event. *)
+let run_chunk b chunk len =
+  let ctrl = b.b_controller in
+  let instr = ref b.b_instr in
+  let correct = ref b.b_correct in
+  let incorrect = ref b.b_incorrect in
+  let last = ref b.b_last_misspec in
+  for i = 0 to len - 1 do
+    let w = Array.unsafe_get chunk i in
+    let taken = Rs_behavior.Trace_store.packed_taken w in
+    instr := !instr + Rs_behavior.Trace_store.packed_delta w;
+    let code =
+      Reactive.step_code ctrl
+        ~branch:(Rs_behavior.Trace_store.packed_branch w)
+        ~taken ~instr:!instr
+    in
+    if code land 1 = 1 then
+      if taken = (code land 2 = 2) then incr correct
+      else begin
+        incr incorrect;
+        Rs_util.Running_stats.add b.b_gaps (float_of_int (!instr - !last));
+        last := !instr
+      end
+  done;
+  b.b_instr <- !instr;
+  b.b_correct <- !correct;
+  b.b_incorrect <- !incorrect;
+  b.b_last_misspec <- !last
+
+let run ?(label = "") ?observer ?observer_raw ?on_transition ?trace pop config params =
   let t0 = Rs_obs.Trace.now () in
   let n = Rs_behavior.Population.size pop in
+  (match (observer, observer_raw) with
+  | Some _, Some _ -> invalid_arg "Engine.run: at most one of observer / observer_raw"
+  | _ -> ());
   (match trace with
   | Some tr when not (Rs_behavior.Trace_store.matches tr pop config) ->
     invalid_arg "Engine.run: trace was recorded for a different (population, config)"
@@ -68,32 +123,31 @@ let run ?(label = "") ?observer ?on_transition ?trace pop config params =
       m "run: %d branches, %d events, ipb %.1f%s" n config.Rs_behavior.Stream.length
         config.instr_per_branch
         (if trace = None then "" else " (trace replay)"));
-  (* The optional hook is resolved once, outside the event loop: the
-     common no-observer path pays neither the match nor the extra call,
-     and additionally fuses the deployed-lookup and the observation into
-     a single controller step.  Hook order is part of the contract — the
-     observer sees the event after scoring but before the controller
-     does — so the observer paths keep the split calls. *)
-  (match (observer, trace) with
-  | None, Some tr ->
-    (* Replay fast path: iterate the packed chunks directly — no event
-       records, no RNG, no behaviour sampling — one fused controller
-       step per event. *)
-    let instr = ref 0 in
-    Rs_behavior.Trace_store.iter_packed tr (fun chunk len ->
-        for i = 0 to len - 1 do
-          let w = Array.unsafe_get chunk i in
-          let taken = Rs_behavior.Trace_store.packed_taken w in
-          instr := !instr + Rs_behavior.Trace_store.packed_delta w;
-          score ~taken ~instr:!instr
-            (Reactive.step controller ~branch:(Rs_behavior.Trace_store.packed_branch w)
-               ~taken ~instr:!instr)
-        done)
-  | None, None ->
-    Rs_behavior.Stream.iter pop config (fun ev ->
-        score ~taken:ev.taken ~instr:ev.instr
-          (Reactive.step controller ~branch:ev.branch ~taken:ev.taken ~instr:ev.instr))
-  | Some f, _ ->
+  (* Every hookless pass runs off packed chunks: an explicit [trace]
+     replays it, and the generation path records once through the
+     [Trace_store.auto] memo and replays that — bit-exact either way.
+     Hook order is part of the contract — the observer sees the event
+     after scoring but before the controller does — so the observer
+     paths keep the split deployed/observe calls. *)
+  let run_batched tr =
+    let b =
+      {
+        b_controller = controller;
+        b_instr = 0;
+        b_correct = 0;
+        b_incorrect = 0;
+        b_last_misspec = 0;
+        b_gaps = gaps;
+      }
+    in
+    Rs_behavior.Trace_store.fold_packed_chunks tr ~init:() (fun () chunk len ->
+        run_chunk b chunk len);
+    correct := b.b_correct;
+    incorrect := b.b_incorrect;
+    last_misspec := b.b_last_misspec
+  in
+  (match (observer, observer_raw, trace) with
+  | Some f, _, _ ->
     let consume (ev : Rs_behavior.Stream.event) =
       let d = Reactive.deployed controller ev.branch in
       score ~taken:ev.taken ~instr:ev.instr d;
@@ -102,7 +156,61 @@ let run ?(label = "") ?observer ?on_transition ?trace pop config params =
     in
     (match trace with
     | Some tr -> Rs_behavior.Trace_store.replay tr consume
-    | None -> Rs_behavior.Stream.iter pop config consume));
+    | None -> Rs_behavior.Stream.iter pop config consume)
+  | None, Some f, _ ->
+    (* Allocation-free hook: split deployed/observe like the boxed
+       observer (same hook-order contract), but every event stays plain
+       integers end to end. *)
+    let consume_raw ~branch ~taken ~instr =
+      let code = Reactive.deployed_code controller branch in
+      (if code land 1 = 1 then
+         if taken = (code land 2 = 2) then incr correct
+         else begin
+           incr incorrect;
+           Rs_util.Running_stats.add gaps (float_of_int (instr - !last_misspec));
+           last_misspec := instr
+         end);
+      f ~branch ~taken ~instr ~code;
+      Reactive.observe controller ~branch ~taken ~instr
+    in
+    let replay_raw tr =
+      let instr = ref 0 in
+      Rs_behavior.Trace_store.iter_packed tr (fun chunk len ->
+          for i = 0 to len - 1 do
+            let w = Array.unsafe_get chunk i in
+            let taken = Rs_behavior.Trace_store.packed_taken w in
+            instr := !instr + Rs_behavior.Trace_store.packed_delta w;
+            consume_raw ~branch:(Rs_behavior.Trace_store.packed_branch w) ~taken ~instr:!instr
+          done)
+    in
+    (match trace with
+    | Some tr -> replay_raw tr
+    | None -> (
+      match Rs_behavior.Trace_store.auto pop config with
+      | Some tr -> replay_raw tr
+      | None ->
+        ignore
+          (Rs_behavior.Stream.iter_raw pop config
+             (fun ~branch ~taken ~exec_index:_ ~instr -> consume_raw ~branch ~taken ~instr)
+            : int array)))
+  | None, None, Some tr -> run_batched tr
+  | None, None, None -> (
+    match Rs_behavior.Trace_store.auto pop config with
+    | Some tr -> run_batched tr
+    | None ->
+      (* Auto-replay off: still allocation-free — fused scalar steps
+         straight off the raw generator. *)
+      ignore
+        (Rs_behavior.Stream.iter_raw pop config (fun ~branch ~taken ~exec_index:_ ~instr ->
+             let code = Reactive.step_code controller ~branch ~taken ~instr in
+             if code land 1 = 1 then
+               if taken = (code land 2 = 2) then incr correct
+               else begin
+                 incr incorrect;
+                 Rs_util.Running_stats.add gaps (float_of_int (instr - !last_misspec));
+                 last_misspec := instr
+               end)
+          : int array)));
   Log.debug (fun m ->
       m "done: correct %d (%.2f%%), incorrect %d (%.4f%%)" !correct
         (100.0 *. float_of_int !correct /. float_of_int config.Rs_behavior.Stream.length)

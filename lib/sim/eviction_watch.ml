@@ -29,21 +29,24 @@ let run ?(horizon = 64) ?(per_static = false) ?trace pop config params =
     | Types.Selected -> ()
     | _ -> ()
   in
-  let observer (ev : Rs_behavior.Stream.event) (d : Types.decision) =
+  (* The raw (unboxed) observer: per event this touches only the two
+     flat arrays — watch records are allocated per eviction, orders of
+     magnitude rarer than events. *)
+  let observer_raw ~branch ~taken ~instr:_ ~code =
     (* Track the direction the deployed code speculates so the watch knows
        the pre-eviction direction even after the controller moved on. *)
-    if d.speculate then directions.(ev.branch) <- d.direction;
-    match watches.(ev.branch) with
+    if code land 1 = 1 then directions.(branch) <- code land 2 = 2;
+    match Array.unsafe_get watches branch with
     | None -> ()
     | Some w ->
-      if ev.taken = w.direction then w.in_dir <- w.in_dir + 1;
+      if taken = w.direction then w.in_dir <- w.in_dir + 1;
       w.seen <- w.seen + 1;
       if w.seen >= horizon then begin
         finish w;
-        watches.(ev.branch) <- None
+        watches.(branch) <- None
       end
   in
-  let _result = Engine.run ~observer ~on_transition ?trace pop config params in
+  let _result = Engine.run ~observer_raw ~on_transition ?trace pop config params in
   Array.iter (function Some w when w.seen >= 16 -> finish w | _ -> ()) watches;
   let histogram = Rs_util.Histogram.create ~bins:20 () in
   List.iter (Rs_util.Histogram.add histogram) !finished;

@@ -2,43 +2,62 @@ module Static = Rs_core.Static
 
 type point = { correct : int; incorrect : int; bias : float }
 
+(* Struct-of-arrays branch statistics: biases in an unboxed float array,
+   majority/minority counts in int arrays, plus the admission order as a
+   sorted index permutation.  The permutation is sorted with the same
+   comparison sequence the old tuple sort saw — bias-only, descending,
+   over the same initial order (branch id ascending) — so equal-bias
+   ties land in exactly the same place. *)
+type stats = { bias : float array; major : int array; minor : int array; order : int array }
+
 let branch_stats profile =
   let n = Profile.n_branches profile in
-  let stats = ref [] in
-  for b = n - 1 downto 0 do
-    let c = Profile.counts profile b in
-    if c.Static.execs > 0 then begin
-      let majority = max c.taken (c.execs - c.taken) in
-      stats := (Static.bias c, majority, c.execs - majority) :: !stats
+  let bias = Array.make n 0.0 in
+  let major = Array.make n 0 in
+  let minor = Array.make n 0 in
+  let m = ref 0 in
+  for b = 0 to n - 1 do
+    let e = Profile.execs_of profile b in
+    if e > 0 then begin
+      let tk = Profile.taken_of profile b in
+      let majority = max tk (e - tk) in
+      let i = !m in
+      (* same expression as [Static.bias] on the execs > 0 path *)
+      bias.(i) <- float_of_int majority /. float_of_int e;
+      major.(i) <- majority;
+      minor.(i) <- e - majority;
+      m := i + 1
     end
   done;
-  let arr = Array.of_list !stats in
+  let order = Array.init !m (fun i -> i) in
   (* Decreasing bias = increasing marginal misspeculation cost. *)
-  Array.sort (fun (b1, _, _) (b2, _, _) -> compare b2 b1) arr;
-  arr
+  Array.sort
+    (fun i j -> compare (Array.unsafe_get bias j : float) (Array.unsafe_get bias i))
+    order;
+  { bias; major; minor; order }
 
 let curve profile =
-  let arr = branch_stats profile in
+  let s = branch_stats profile in
   let correct = ref 0 in
   let incorrect = ref 0 in
   Array.map
-    (fun (bias, maj, mino) ->
-      correct := !correct + maj;
-      incorrect := !incorrect + mino;
-      { correct = !correct; incorrect = !incorrect; bias })
-    arr
+    (fun i ->
+      correct := !correct + s.major.(i);
+      incorrect := !incorrect + s.minor.(i);
+      { correct = !correct; incorrect = !incorrect; bias = s.bias.(i) })
+    s.order
 
 let at_threshold profile ~threshold =
-  let arr = branch_stats profile in
+  let s = branch_stats profile in
   let correct = ref 0 in
   let incorrect = ref 0 in
   Array.iter
-    (fun (bias, maj, mino) ->
-      if bias >= threshold then begin
-        correct := !correct + maj;
-        incorrect := !incorrect + mino
+    (fun i ->
+      if s.bias.(i) >= threshold then begin
+        correct := !correct + s.major.(i);
+        incorrect := !incorrect + s.minor.(i)
       end)
-    arr;
+    s.order;
   { correct = !correct; incorrect = !incorrect; bias = threshold }
 
 let correct_rate profile p = float_of_int p.correct /. float_of_int (Profile.total_events profile)

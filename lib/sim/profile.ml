@@ -3,11 +3,13 @@ module Static = Rs_core.Static
 type t = {
   execs : int array;
   taken : int array;
-  (* window_taken.(w).(b): taken count of branch [b] after its first
-     [windows.(w)] executions (or at end of run if it never got that
-     far). *)
-  window_taken : int array array;
+  (* window_taken.((w * n) + b): taken count of branch [b] after its
+     first [windows.(w)] executions (or at end of run if it never got
+     that far).  One flat preallocated array instead of an array per
+     window keeps collection off the minor heap. *)
+  window_taken : int array;
   windows : int array;
+  n : int;
   total_events : int;
   total_instructions : int;
 }
@@ -34,27 +36,47 @@ let collect ?(windows = Static.windows) ?trace pop config =
   let n_windows = Array.length windows in
   let n = Rs_behavior.Population.size pop in
   let taken = Array.make n 0 in
-  let window_taken = Array.init n_windows (fun _ -> Array.make n (-1)) in
+  let window_taken = Array.make (n_windows * n) (-1) in
   let next_window = Array.make n 0 in
-  let consume (ev : Rs_behavior.Stream.event) =
-    let b = ev.branch in
-    if ev.taken then taken.(b) <- taken.(b) + 1;
-    let w = next_window.(b) in
-    if w < n_windows && ev.exec_index + 1 = windows.(w) then begin
-      window_taken.(w).(b) <- taken.(b);
-      next_window.(b) <- w + 1
+  (* The per-event update, on plain integers only. *)
+  let update b is_taken exec_index =
+    if is_taken then Array.unsafe_set taken b (Array.unsafe_get taken b + 1);
+    let w = Array.unsafe_get next_window b in
+    if w < n_windows && exec_index + 1 = Array.unsafe_get windows w then begin
+      Array.unsafe_set window_taken ((w * n) + b) (Array.unsafe_get taken b);
+      Array.unsafe_set next_window b (w + 1)
     end
+  in
+  (* A trace pass decodes packed chunks directly, reconstructing the
+     per-branch execution index with its own counters — no event
+     records. *)
+  let run_trace tr =
+    let exec = Array.make n 0 in
+    Rs_behavior.Trace_store.iter_packed tr (fun chunk len ->
+        for i = 0 to len - 1 do
+          let w = Array.unsafe_get chunk i in
+          let b = Rs_behavior.Trace_store.packed_branch w in
+          let e = Array.unsafe_get exec b in
+          Array.unsafe_set exec b (e + 1);
+          update b (Rs_behavior.Trace_store.packed_taken w) e
+        done);
+    exec
   in
   let execs =
     match trace with
-    | Some tr -> Rs_behavior.Trace_store.replay_counted tr consume
-    | None -> Rs_behavior.Stream.iter_counted pop config consume
+    | Some tr -> run_trace tr
+    | None -> (
+      match Rs_behavior.Trace_store.auto pop config with
+      | Some tr -> run_trace tr
+      | None ->
+        Rs_behavior.Stream.iter_raw pop config (fun ~branch ~taken ~exec_index ~instr:_ ->
+            update branch taken exec_index))
   in
   (* Branches that never reached a checkpoint: the "window" is their whole
      life, so a window-trained policy sees exactly their full counts. *)
   for b = 0 to n - 1 do
     for w = next_window.(b) to n_windows - 1 do
-      window_taken.(w).(b) <- taken.(b)
+      window_taken.((w * n) + b) <- taken.(b)
     done
   done;
   {
@@ -62,6 +84,7 @@ let collect ?(windows = Static.windows) ?trace pop config =
     taken;
     window_taken;
     windows;
+    n;
     total_events = config.length;
     total_instructions = Rs_behavior.Stream.total_instructions config;
   }
@@ -72,14 +95,16 @@ let total_events t = t.total_events
 let total_instructions t = t.total_instructions
 
 let counts t b = { Static.execs = t.execs.(b); taken = t.taken.(b) }
+let execs_of t b = t.execs.(b)
+let taken_of t b = t.taken.(b)
 
 let counts_in_window t b ~window =
   let w = window_index t window in
   let execs = min t.execs.(b) window in
-  { Static.execs; taken = (if execs = 0 then 0 else t.window_taken.(w).(b)) }
+  { Static.execs; taken = (if execs = 0 then 0 else t.window_taken.((w * t.n) + b)) }
 
 let counts_after_window t b ~window =
   let w = window_index t window in
   let in_execs = min t.execs.(b) window in
-  let in_taken = if in_execs = 0 then 0 else t.window_taken.(w).(b) in
+  let in_taken = if in_execs = 0 then 0 else t.window_taken.((w * t.n) + b) in
   { Static.execs = t.execs.(b) - in_execs; taken = t.taken.(b) - in_taken }

@@ -32,6 +32,11 @@ val total_instructions : t -> int
 val counts : t -> int -> Rs_core.Static.counts
 (** Whole-run counts of one branch. *)
 
+val execs_of : t -> int -> int
+val taken_of : t -> int -> int
+(** The fields of {!counts} individually — no record materialized, for
+    consumers sweeping every branch ({!Pareto}). *)
+
 val counts_in_window : t -> int -> window:int -> Rs_core.Static.counts
 (** Counts over the first [min window execs] executions.  [window] must
     be one of {!Rs_core.Static.windows}.

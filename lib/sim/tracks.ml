@@ -1,13 +1,32 @@
-(* Shared replay-or-generate front door: both collectors accept an
-   optional prerecorded trace and fall back to live generation. *)
+(* Shared replay-or-generate front door: both collectors consume plain
+   integers — an explicit prerecorded trace, the [Trace_store.auto]
+   memo, or (with auto-replay off) the raw generator, decoded without
+   per-event boxing in every case. *)
 module Replay = struct
-  let iter ?trace pop config f =
+  let iter ?trace ~caller pop config f =
+    let run_trace tr =
+      let exec = Array.make (Rs_behavior.Population.size pop) 0 in
+      let instr = ref 0 in
+      Rs_behavior.Trace_store.iter_packed tr (fun chunk len ->
+          for i = 0 to len - 1 do
+            let w = Array.unsafe_get chunk i in
+            let b = Rs_behavior.Trace_store.packed_branch w in
+            instr := !instr + Rs_behavior.Trace_store.packed_delta w;
+            let e = Array.unsafe_get exec b in
+            Array.unsafe_set exec b (e + 1);
+            f ~branch:b ~taken:(Rs_behavior.Trace_store.packed_taken w) ~exec_index:e
+              ~instr:!instr
+          done)
+    in
     match trace with
     | Some tr ->
       if not (Rs_behavior.Trace_store.matches tr pop config) then
-        invalid_arg "Tracks: trace was recorded for a different (population, config)";
-      Rs_behavior.Trace_store.replay tr f
-    | None -> Rs_behavior.Stream.iter pop config f
+        invalid_arg (caller ^ ": trace was recorded for a different (population, config)");
+      run_trace tr
+    | None -> (
+      match Rs_behavior.Trace_store.auto pop config with
+      | Some tr -> run_trace tr
+      | None -> ignore (Rs_behavior.Stream.iter_raw pop config f : int array))
 end
 
 module Exec_blocks = struct
@@ -17,13 +36,24 @@ module Exec_blocks = struct
 
   let collect ?trace pop config ~branches ~block =
     if block <= 0 then invalid_arg "Exec_blocks.collect: block must be positive";
-    let accs = Hashtbl.create 16 in
-    List.iter (fun b -> Hashtbl.replace accs b { seen = 0; taken = 0; blocks = [] }) branches;
-    Replay.iter ?trace pop config (fun ev ->
-        match Hashtbl.find_opt accs ev.branch with
+    (* A dense branch -> acc array instead of a hashtable lookup per
+       event: [find_opt]'s option would be the loop's only allocation. *)
+    let n = Rs_behavior.Population.size pop in
+    (* size past the population if the caller tracks ids no event can
+       reach, so those still get their (empty) series *)
+    let size = List.fold_left (fun m b -> max m (b + 1)) n branches in
+    let accs : acc option array = Array.make size None in
+    List.iter
+      (fun b ->
+        if b < 0 then invalid_arg "Exec_blocks.collect: negative branch id";
+        accs.(b) <- Some { seen = 0; taken = 0; blocks = [] })
+      branches;
+    Replay.iter ?trace ~caller:"Exec_blocks.collect" pop config
+      (fun ~branch ~taken ~exec_index:_ ~instr:_ ->
+        match Array.unsafe_get accs branch with
         | None -> ()
         | Some a ->
-          if ev.taken then a.taken <- a.taken + 1;
+          if taken then a.taken <- a.taken + 1;
           a.seen <- a.seen + 1;
           if a.seen = block then begin
             let idx = List.length a.blocks in
@@ -32,15 +62,18 @@ module Exec_blocks = struct
             a.taken <- 0
           end);
     let series = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun b (a : acc) ->
-        let blocks =
-          if a.seen >= block / 10 then
-            (List.length a.blocks, float_of_int a.taken /. float_of_int a.seen) :: a.blocks
-          else a.blocks
-        in
-        Hashtbl.replace series b (ref (List.rev blocks)))
-      accs;
+    List.iter
+      (fun b ->
+        match accs.(b) with
+        | None -> ()
+        | Some a ->
+          let blocks =
+            if a.seen >= block / 10 then
+              (List.length a.blocks, float_of_int a.taken /. float_of_int a.seen) :: a.blocks
+            else a.blocks
+          in
+          Hashtbl.replace series b (ref (List.rev blocks)))
+      branches;
     { block; series }
 
   let series t b = !(Hashtbl.find t.series b)
@@ -50,8 +83,9 @@ module Intervals = struct
   type t = {
     buckets : int;
     min_execs : int;
-    execs : int array array;  (** [execs.(bucket).(branch)] *)
-    taken : int array array;
+    n : int;
+    execs : int array;  (** [execs.((bucket * n) + branch)], flat *)
+    taken : int array;
   }
 
   let collect ?trace pop config ~buckets ~min_execs =
@@ -59,44 +93,50 @@ module Intervals = struct
     let n = Rs_behavior.Population.size pop in
     let total_instr = Rs_behavior.Stream.total_instructions config in
     let width = max 1 (total_instr / buckets) in
-    let execs = Array.init buckets (fun _ -> Array.make n 0) in
-    let taken = Array.init buckets (fun _ -> Array.make n 0) in
-    Replay.iter ?trace pop config (fun ev ->
-        let k = min (buckets - 1) (ev.instr / width) in
-        execs.(k).(ev.branch) <- execs.(k).(ev.branch) + 1;
-        if ev.taken then taken.(k).(ev.branch) <- taken.(k).(ev.branch) + 1);
-    { buckets; min_execs; execs; taken }
+    let execs = Array.make (buckets * n) 0 in
+    let taken = Array.make (buckets * n) 0 in
+    Replay.iter ?trace ~caller:"Intervals.collect" pop config
+      (fun ~branch ~taken:tk ~exec_index:_ ~instr ->
+        let k = min (buckets - 1) (instr / width) in
+        let i = (k * n) + branch in
+        Array.unsafe_set execs i (Array.unsafe_get execs i + 1);
+        if tk then Array.unsafe_set taken i (Array.unsafe_get taken i + 1));
+    { buckets; min_execs; n; execs; taken }
 
   let n_buckets t = t.buckets
 
-  (* Classification of one branch in one bucket: [Some true] = biased,
-     [Some false] = unbiased, [None] = too few executions to tell. *)
-  let classify t ~threshold branch bucket =
-    let e = t.execs.(bucket).(branch) in
-    if e < t.min_execs then None
+  (* Classification of one branch in one bucket: 1 = biased, 0 =
+     unbiased, -1 = too few executions to tell. *)
+  let classify_code t ~threshold branch bucket =
+    let e = t.execs.((bucket * t.n) + branch) in
+    if e < t.min_execs then -1
     else begin
-      let tk = t.taken.(bucket).(branch) in
+      let tk = t.taken.((bucket * t.n) + branch) in
       let bias = float_of_int (max tk (e - tk)) /. float_of_int e in
-      Some (bias >= threshold)
+      if bias >= threshold then 1 else 0
     end
 
   let flippers t ~threshold =
-    let n = Array.length t.execs.(0) in
     let result = ref [] in
-    for b = n - 1 downto 0 do
+    (* One scratch per call, shared across branches. *)
+    let states = Array.make t.buckets false in
+    for b = t.n - 1 downto 0 do
       (* Fill sparse buckets with the previous known classification. *)
-      let states = Array.make t.buckets false in
       let any_biased = ref false in
       let any_unbiased = ref false in
       let prev = ref false in
       let known = ref false in
       for k = 0 to t.buckets - 1 do
-        (match classify t ~threshold b k with
-        | Some biased ->
-          prev := biased;
+        (match classify_code t ~threshold b k with
+        | 1 ->
+          prev := true;
           known := true;
-          if biased then any_biased := true else any_unbiased := true
-        | None -> ());
+          any_biased := true
+        | 0 ->
+          prev := false;
+          known := true;
+          any_unbiased := true
+        | _ -> ());
         states.(k) <- !known && !prev
       done;
       if !any_biased && !any_unbiased then begin

@@ -38,27 +38,41 @@ let bits64 t = Int64.of_int (next t)
 
 let split t = { s = scramble (next t + 0x61C8864680B583EB) }
 
+(* Top-level recursion, not a local closure: the generators below sit in
+   per-event hot loops and a captured [go] would cost an allocation per
+   draw on the non-flambda compiler. *)
+let rec int_reject t bound =
+  (* rejection sampling removes the modulo bias *)
+  let r = bits62 t in
+  let v = r mod bound in
+  if r - v > max_int - bound + 1 then int_reject t bound else v
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  (* rejection sampling removes the modulo bias *)
-  let rec go () =
-    let r = bits62 t in
-    let v = r mod bound in
-    if r - v > max_int - bound + 1 then go () else v
-  in
-  go ()
+  int_reject t bound
+
+let two53 = 9007199254740992.0
+
+let unit_bits t = bits62 t lsr 9
 
 let float t bound =
   (* 53 random bits mapped to [0,1) *)
-  let r = bits62 t lsr 9 in
-  float_of_int r /. 9007199254740992.0 *. bound
+  float_of_int (unit_bits t) /. two53 *. bound
 
 let bool t = next t land 1 <> 0
+
+(* [float_of_int r /. 2^53 *. 1.0 < p] with both operands exact: dividing
+   an integer below 2^53 by 2^53 is exact, and so is multiplying [p] by
+   2^53 (a pure exponent shift, no overflow for finite p of this
+   magnitude), so the two comparisons decide identically bit-for-bit.
+   The rewritten form keeps every float temporary inside one function
+   body, where the non-flambda compiler leaves them unboxed. *)
+let below t p = float_of_int (unit_bits t) < p *. two53
 
 let bernoulli t p =
   if p >= 1.0 then true
   else if p <= 0.0 then false
-  else float t 1.0 < p
+  else below t p
 
 let geometric t p =
   if p <= 0.0 then invalid_arg "Prng.geometric: p must be positive";

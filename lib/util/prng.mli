@@ -34,6 +34,24 @@ val int : t -> int -> int
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
+val unit_bits : t -> int
+(** The 53 random bits behind one {!float} draw, as an integer in
+    [\[0, 2^53)]: [float t bound] is
+    [float_of_int (unit_bits t) /. two53 *. bound].  Hot loops that only
+    need a uniform comparison use this with {!two53} to keep every float
+    temporary inside their own function body, where the non-flambda
+    compiler leaves them unboxed — a cross-module [float] call would box
+    its result. *)
+
+val two53 : float
+(** [2.0 ** 53.0], the scale of {!unit_bits}. *)
+
+val below : t -> float -> bool
+(** [below t p] consumes one draw and is [float t 1.0 < p], decided
+    bit-for-bit identically but without boxing the comparand.  Unlike
+    {!bernoulli} it {e always} advances the generator, even for [p]
+    outside [(0, 1)]. *)
+
 val bool : t -> bool
 (** Fair coin. *)
 

@@ -20,6 +20,7 @@ let () =
         ("trace-store", Test_trace_store.suite);
         ("core-static", Test_static.suite);
         ("core-reactive", Test_reactive.suite);
+        ("batch", Test_batch.suite);
         ("sim", Test_sim.suite);
         ("workload", Test_workload.suite);
         ("ir", Test_ir.suite);
