@@ -89,6 +89,57 @@ else
 fi
 rm -f "$RSPEC_JSON" "$RSPEC_LIST" "$RSPEC_LIST.doc"
 
+# Adversarial stage: the three adversarial entries (params-aware worst
+# cases, mistraining schedules, multi-context interleavings) run end to
+# end at two seeds under injected faults — including the
+# trace_store.record site, since these entries fabricate and cache
+# packed traces — and every published verdict row must pass.  One of
+# those verdicts, plus the trailing differential_ok column of every
+# rows sheet, is the differential check that the packed batch path
+# agrees with scalar replay on the adversarial traces.
+echo "== adversarial stress (two seeds, RS_FAULTS) =="
+for seed in 7 42; do
+  echo "-- seed=$seed --"
+  ADV_JSON=$(mktemp /tmp/rs_adversarial.XXXXXX.json)
+  RS_FAULTS="seed=$seed,rate=0.8,max_raises=1,sites=cache:trace_store,delay=0.2,delay_us=300,delay_sites=pool" \
+    timeout 600 "$RSPEC" run adversarial mistrain interleave \
+      --format json --seed "$seed" --scale 0.02 --tau 10 --jobs 1 > "$ADV_JSON"
+  if command -v jq >/dev/null 2>&1; then
+    jq -e '.experiments | length == 3' "$ADV_JSON" >/dev/null
+    jq -e '[.experiments[].tables.verdicts.rows[]] | length >= 13 and all(.[2] == true)' \
+      "$ADV_JSON" >/dev/null \
+      || { echo "adversarial verdicts failed at seed=$seed:" >&2
+           jq '[.experiments[]
+                | { name, failed: [.tables.verdicts.rows[] | select(.[2] != true) | .[0]] }
+                | select(.failed != [])]' "$ADV_JSON" >&2
+           exit 1; }
+    jq -e '[.experiments[].tables.rows.rows[] | last] | all(. == true)' "$ADV_JSON" >/dev/null \
+      || { echo "batched/scalar differential diverged at seed=$seed" >&2; exit 1; }
+    echo "adversarial ok at seed=$seed: $(jq -c '[.experiments[].name]' "$ADV_JSON")"
+  else
+    echo "adversarial json written ($ADV_JSON); jq not installed, skipping assertions"
+  fi
+  rm -f "$ADV_JSON"
+done
+# Glob selection over the new family, and the unmatched-glob failure
+# mode: a pattern that selects nothing must exit non-zero and name the
+# pattern, not silently run an empty set.
+ADV_JSON=$(mktemp /tmp/rs_adversarial_glob.XXXXXX.json)
+timeout 600 "$RSPEC" run 'adversarial*' --format json --scale 0.02 --tau 10 --jobs 1 > "$ADV_JSON"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.experiments | length == 1 and .[0].name == "adversarial"' "$ADV_JSON" >/dev/null
+fi
+rm -f "$ADV_JSON"
+if "$RSPEC" run 'no_such_entry*' --format json >/dev/null 2>/tmp/rs_noglob.err; then
+  echo "rspec run with an unmatched glob must fail" >&2
+  exit 1
+fi
+grep -q 'no_such_entry' /tmp/rs_noglob.err \
+  || { echo "unmatched-glob error must name the pattern:" >&2
+       cat /tmp/rs_noglob.err >&2
+       exit 1; }
+rm -f /tmp/rs_noglob.err
+
 # Bench smoke: the JSON mode at a tiny sampling quota and context.
 # Asserts the harness runs, the JSON parses, every kernel (including the
 # trace-replay pair) reported — and, the one performance property cheap

@@ -75,6 +75,41 @@ let record pop (cfg : Stream.config) =
   in
   { config = cfg; n_branches = n; chunks; last_len; exec_totals }
 
+let of_events ~n_branches ~(config : Stream.config) emit =
+  if n_branches <= 0 then invalid_arg "Trace_store.of_events: n_branches must be positive";
+  if (n_branches - 1) lsl branch_shift < 0 then
+    invalid_arg "Trace_store.of_events: population too large to pack";
+  Stream.validate ~caller:"Trace_store.of_events" config;
+  let n_chunks = (config.length + chunk_size - 1) lsr chunk_bits in
+  let chunks = Array.init n_chunks (fun _ -> Array.make chunk_size 0) in
+  let pos = ref 0 in
+  let last_instr = ref 0 in
+  let exec_totals = Array.make n_branches 0 in
+  emit (fun ~branch ~taken ~instr ->
+      if branch < 0 || branch >= n_branches then
+        invalid_arg "Trace_store.of_events: branch id out of range";
+      if !pos >= config.length then
+        invalid_arg "Trace_store.of_events: more events than config.length";
+      let delta = instr - !last_instr in
+      if delta < 0 then invalid_arg "Trace_store.of_events: instruction counts must not decrease";
+      if delta > max_delta then
+        invalid_arg "Trace_store.of_events: instruction delta does not fit in 20 bits";
+      last_instr := instr;
+      exec_totals.(branch) <- exec_totals.(branch) + 1;
+      let i = !pos in
+      Array.unsafe_set
+        (Array.unsafe_get chunks (i lsr chunk_bits))
+        (i land (chunk_size - 1))
+        ((branch lsl branch_shift) lor (delta lsl 1) lor Bool.to_int taken);
+      pos := i + 1);
+  if !pos <> config.length then
+    invalid_arg "Trace_store.of_events: fewer events than config.length";
+  let last_len =
+    let r = config.length land (chunk_size - 1) in
+    if r = 0 then chunk_size else r
+  in
+  { config; n_branches; chunks; last_len; exec_totals }
+
 let iter_packed t f =
   let last = Array.length t.chunks - 1 in
   for c = 0 to last do

@@ -42,6 +42,24 @@ val record : Population.t -> Stream.config -> t
     Invalid_argument on a config {!Stream.iter} would reject, or on one
     whose events cannot be packed (instruction deltas >= 2^20). *)
 
+val of_events :
+  n_branches:int ->
+  config:Stream.config ->
+  ((branch:int -> taken:bool -> instr:int -> unit) -> unit) ->
+  t
+(** Pack an explicit event sequence that did {e not} come from a
+    {!Stream} generator — merged multi-context streams, hand-built
+    schedules.  [of_events ~n_branches ~config emit] calls [emit] once
+    with a push function the caller must invoke exactly [config.length]
+    times, in stream order, with non-decreasing [instr]; [exec_index]
+    is reconstructed per branch at replay, exactly as {!record} does.
+    The result replays through every consumer of packed traces
+    (including the batched engine path) like a recorded trace whose
+    population has [n_branches] branches.
+    @raise Invalid_argument on an out-of-range branch id, a decreasing
+    or >= 2^20 instruction delta, an event count different from
+    [config.length], or a config {!Stream.iter} would reject. *)
+
 val config : t -> Stream.config
 val n_branches : t -> int
 val length : t -> int

@@ -1,0 +1,22 @@
+(** Registry entry [adversarial]: the {!Rs_workload.Adversary} scenarios
+    driven through the engine with a batched-vs-scalar differential
+    check on every run. *)
+
+type row = {
+  scenario : string;
+  summary : string;
+  events : int;
+  selections : int;
+  evictions : int;
+  capped : int;
+  correct_rate : float;
+  incorrect_rate : float;
+  differential : Rs_sim.Differential.report;
+}
+
+type verdict = { claim : string; measured : string; pass : bool }
+
+type t = { rows : row list; verdicts : verdict list }
+
+val run : Context.t -> t
+val render : t -> string

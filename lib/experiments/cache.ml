@@ -199,6 +199,19 @@ let trace ctx bm ~input =
     Some (Rs_behavior.Trace_store.cached ~key:(stream_key (ckey ctx bm input)) pop cfg)
   end
 
+(* Fabricated traces (the adversarial scenario families) are keyed by a
+   caller-supplied string instead of a ckey: their populations are not
+   benchmark-derived.  Routing the recording through a memo gives it the
+   same bounded-retry semantics as every other compute body — a fault at
+   the [trace_store.record] site is retried away instead of failing the
+   experiment.  The benchmark paths above get this for free because
+   their recordings happen inside the [run]/[profile] bodies. *)
+let fabricated : (string, Rs_behavior.Trace_store.t) memo = memo "trace"
+
+let fabricated_trace ~key pop cfg =
+  find_or_compute fabricated ~bench:key key (fun () ->
+      Rs_behavior.Trace_store.cached ~key pop cfg)
+
 (* Every checkpoint window the suite requests anywhere: the paper-time
    windows (figure5's default profiles), the context's compressed windows
    (figure2) and figure3's invariance horizon.  Collecting each profile

@@ -96,6 +96,19 @@ val trace :
     byte-identical to regeneration, so the toggle never changes
     results, only speed. *)
 
+val fabricated_trace :
+  key:string ->
+  Rs_behavior.Population.t ->
+  Rs_behavior.Stream.config ->
+  Rs_behavior.Trace_store.t
+(** Memoised {!Rs_behavior.Trace_store.cached} for fabricated (non-ckey)
+    populations — the adversarial scenario entries.  [key] must encode
+    everything the recording depends on (scenario name, seed, scale,
+    tau).  The compute body runs with the same bounded retries as the
+    other artifact kinds, so an injected fault at the
+    [trace_store.record] site is retried away instead of failing the
+    experiment. *)
+
 val set_trace_replay : bool -> unit
 (** Enable/disable record-once/replay-many streaming (default enabled).
     Disabling makes {!trace} return [None]; entries already recorded stay

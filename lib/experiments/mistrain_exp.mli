@@ -1,0 +1,27 @@
+(** Registry entry [mistrain]: Spectre-style mistraining schedules
+    ({!Rs_workload.Mistrain}) with measured quarantine times
+    ({!Rs_sim.Quarantine}), a static-policy damage baseline, and a
+    batched-vs-scalar differential check on every run. *)
+
+type row = {
+  schedule : string;
+  strength : float;
+  victims : int;
+  quarantined : int;
+  mean_q_execs : float;  (** Mean quarantine time in victim executions (nan if none). *)
+  mean_q_instrs : float;
+  predicted_evict_execs : int;
+  reactive_damage : int;  (** Misspeculations of deployed code across all victims. *)
+  static_damage : int;  (** Poisoned outcomes a static always-speculate policy eats. *)
+  differential : Rs_sim.Differential.report;
+}
+
+type verdict = { claim : string; measured : string; pass : bool }
+
+type t = { rows : row list; verdicts : verdict list }
+
+val strengths : float list
+(** Attack strengths evaluated per schedule (descending). *)
+
+val run : Context.t -> t
+val render : t -> string

@@ -541,10 +541,123 @@ let claims =
         ];
     }
 
+let verdict_sheet rows =
+  {
+    sheet = "verdicts";
+    columns = [ str "claim"; str "measured"; bool "pass" ];
+    rows;
+  }
+
+let adversarial =
+  Entry
+    {
+      name = "adversarial";
+      description = "Worst-case populations pinned to the controller's own thresholds";
+      paper_ref = "Section 3 (adversarial extension)";
+      run = (fun ctx -> Adversarial.run ctx);
+      render = Adversarial.render;
+      sheets =
+        [
+          {
+            sheet = "rows";
+            columns =
+              [
+                str "scenario"; int "events"; int "selections"; int "evictions"; int "capped";
+                flt "correct_rate"; flt "incorrect_rate"; bool "differential_ok";
+              ];
+            rows =
+              (fun (t : Adversarial.t) ->
+                List.map
+                  (fun (r : Adversarial.row) ->
+                    [
+                      S r.scenario; I r.events; I r.selections; I r.evictions; I r.capped;
+                      F r.correct_rate; F r.incorrect_rate; B r.differential.agree;
+                    ])
+                  t.rows);
+          };
+          verdict_sheet (fun (t : Adversarial.t) ->
+              List.map
+                (fun (v : Adversarial.verdict) -> [ S v.claim; S v.measured; B v.pass ])
+                t.verdicts);
+        ];
+    }
+
+let mistrain =
+  Entry
+    {
+      name = "mistrain";
+      description = "Spectre-style mistraining schedules and quarantine times";
+      paper_ref = "Section 3 (adversarial extension)";
+      run = (fun ctx -> Mistrain_exp.run ctx);
+      render = Mistrain_exp.render;
+      sheets =
+        [
+          {
+            sheet = "rows";
+            columns =
+              [
+                str "schedule"; flt "strength"; int "victims"; int "quarantined";
+                flt "mean_quarantine_execs"; flt "mean_quarantine_instrs";
+                int "predicted_evict_execs"; int "reactive_damage"; int "static_damage";
+                bool "differential_ok";
+              ];
+            rows =
+              (fun (t : Mistrain_exp.t) ->
+                List.map
+                  (fun (r : Mistrain_exp.row) ->
+                    [
+                      S r.schedule; F r.strength; I r.victims; I r.quarantined;
+                      F r.mean_q_execs; F r.mean_q_instrs; I r.predicted_evict_execs;
+                      I r.reactive_damage; I r.static_damage; B r.differential.agree;
+                    ])
+                  t.rows);
+          };
+          verdict_sheet (fun (t : Mistrain_exp.t) ->
+              List.map
+                (fun (v : Mistrain_exp.verdict) -> [ S v.claim; S v.measured; B v.pass ])
+                t.verdicts);
+        ];
+    }
+
+let interleave =
+  Entry
+    {
+      name = "interleave";
+      description = "Multi-context stream merging: shared vs per-context state tables";
+      paper_ref = "Section 3 (adversarial extension)";
+      run = (fun ctx -> Interleave_exp.run ctx);
+      render = Interleave_exp.render;
+      sheets =
+        [
+          {
+            sheet = "rows";
+            columns =
+              [
+                str "schedule"; str "table"; int "events"; int "selections"; int "evictions";
+                int "capped"; flt "correct_rate"; flt "incorrect_rate"; bool "differential_ok";
+              ];
+            rows =
+              (fun (t : Interleave_exp.t) ->
+                List.map
+                  (fun (r : Interleave_exp.row) ->
+                    [
+                      S r.schedule; S r.table; I r.events; I r.selections; I r.evictions;
+                      I r.capped; F r.correct_rate; F r.incorrect_rate; B r.differential.agree;
+                    ])
+                  t.rows);
+          };
+          verdict_sheet (fun (t : Interleave_exp.t) ->
+              List.map
+                (fun (v : Interleave_exp.verdict) -> [ S v.claim; S v.measured; B v.pass ])
+                t.verdicts);
+        ];
+    }
+
 let all =
   [
     figure1; figure2; figure3; figure5; figure6; figure7; figure8; figure9; table1; table2;
-    table3; table4; table5; ablations; correlation; values; breakeven; claims;
+    table3; table4; table5; ablations; correlation; values; breakeven; claims; adversarial;
+    mistrain; interleave;
   ]
 
 let find n = List.find_opt (fun e -> name e = n) all

@@ -1,0 +1,47 @@
+(** Multi-context branch streams merged onto one machine.
+
+    Models the multithreaded setting of Durbhakula's branch-prediction
+    work: several independent contexts (threads) each run their own
+    branch population, and the merged stream reaches the controller
+    either {e aliased} — one shared state table, context branches with
+    the same slot id collide — or {e split} — disjoint per-context
+    tables.  Context directions conflict by construction (odd-parity
+    contexts reverse every slot), so the shared table sees a 2-in-3
+    mixture at every slot under fine-grained interleaving, while bursty
+    scheduling gives it windows of single-context behaviour.
+
+    The merged sequences are not {!Stream} generations, so they are
+    packed with {!Rs_behavior.Trace_store.of_events} and must be driven
+    through the engine with an explicit [~trace] (the populations in the
+    result are shape-only stand-ins for trace validation).
+
+    Merges are deterministic in [(schedule, seed, scale)]. *)
+
+type schedule =
+  | Round_robin  (** One event per context, in rotation. *)
+  | Bursty  (** Multi-thousand-event bursts per context, in rotation. *)
+
+val schedules : schedule list
+val schedule_name : schedule -> string
+
+val n_contexts : int
+val instr_per_branch : float
+
+val branches_per_context : scale:float -> int
+val execs_per_branch : int
+
+type merged = {
+  shared : Rs_behavior.Population.t * Rs_behavior.Stream.config * Rs_behavior.Trace_store.t;
+      (** All contexts aliased onto one state table of
+          [branches_per_context] slots. *)
+  split : Rs_behavior.Population.t * Rs_behavior.Stream.config * Rs_behavior.Trace_store.t;
+      (** Disjoint per-context tables:
+          id [context * branches_per_context + slot]. *)
+  per_context_events : int array;  (** Events contributed by each context. *)
+}
+
+val build : schedule -> seed:int -> scale:float -> merged
+(** Generate the per-context streams, merge them under the schedule, and
+    pack both views of the merged sequence.  Both traces describe the
+    {e same} events in the same order — only the branch ids differ.
+    @raise Invalid_argument on a scale outside (0, 1]. *)

@@ -1,0 +1,53 @@
+(** Spectre-style mistraining schedules: attacker phases that first
+    train a victim branch into confident speculation and then feed it
+    poisoned outcomes.
+
+    The controller-relevant core of a speculation attack (Hajiabadi et
+    al.'s configurable mitigation setting, Kiriansky/Waldspurger-style
+    mistraining) is a phase schedule on the victim branch: a training
+    phase long enough for the reactive controller to select it and
+    deploy speculative code, then a trigger phase in which each
+    execution goes the wrong way with probability [strength].  The
+    interesting measurement is the {e quarantine time}: how many victim
+    executions (and instructions) pass between the first poisoned
+    misspeculation and the moment the deployed code stops speculating —
+    bounded for the reactive controller, unbounded for profile-based and
+    static policies (see {!Rs_sim.Quarantine}).
+
+    Populations are deterministic in
+    [(schedule, strength, seed, scale, params)]. *)
+
+type schedule =
+  | Train_then_trigger  (** One training phase, then sustained poison. *)
+  | Burst_poison
+      (** Sub-eviction poison bursts separated by re-training runs that
+          only partially drain the eviction counter. *)
+
+val schedules : schedule list
+val schedule_name : schedule -> string
+
+val instr_per_branch : float
+
+val evict_execs : Rs_core.Params.t -> strength:float -> int
+(** Expected victim executions from the first poisoned outcome to the
+    eviction, under sustained poison of this strength ([max_int] when
+    the poison is too weak to climb the counter). *)
+
+type build_result = {
+  population : Rs_behavior.Population.t;
+  config : Rs_behavior.Stream.config;
+  victims : int array;  (** Branch ids under attack (a prefix of the ids). *)
+}
+
+val build :
+  schedule ->
+  strength:float ->
+  params:Rs_core.Params.t ->
+  seed:int ->
+  scale:float ->
+  build_result
+(** Victims plus benign stationary background traffic; weights are
+    uniform, the stream is long enough that every victim is trained,
+    attacked and (for the reactive controller) quarantined.
+    @raise Invalid_argument on scale outside (0, 1], strength outside
+    (0, 1], or params failing validation. *)

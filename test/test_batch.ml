@@ -462,6 +462,57 @@ let qcheck_batch_equals_scalar =
       let c2, i2, g2, s2, trs2 = batch_run tr params n in
       c1 = c2 && i1 = i2 && g1 = g2 && abs (s1 - s2) <= 1 && trs1 = trs2)
 
+(* ---------------------------------------------------------------------- *)
+(* Adversarial corners: the workload family built to hammer the FSM's    *)
+(* own thresholds must not split the batched and scalar paths            *)
+(* ---------------------------------------------------------------------- *)
+
+module Adv = Rs_workload.Adversary
+module MT = Rs_workload.Mistrain
+module IL = Rs_workload.Interleave
+
+let paths_agree tr params n =
+  let c1, i1, g1, s1, t1 = scalar_run tr params n in
+  let c2, i2, g2, s2, t2 = batch_run tr params n in
+  c1 = c2 && i1 = i2 && g1 = g2 && abs (s1 - s2) <= 1 && t1 = t2
+
+let qcheck_adversary_batch_equals_scalar =
+  QCheck.Test.make
+    ~name:"batched == scalar on threshold-flip adversarial populations" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let params = gen_params (Prng.create (seed + 17)) in
+      let sc = List.nth Adv.all (seed mod List.length Adv.all) in
+      let pop, cfg = Adv.build sc ~params ~seed ~scale:1.0 in
+      let tr = TS.record pop cfg in
+      paths_agree tr params (Pop.size pop))
+
+let qcheck_mistrain_batch_equals_scalar =
+  QCheck.Test.make ~name:"batched == scalar on mistraining burst schedules" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let params = gen_params (Prng.create (seed + 23)) in
+      let schedule = if seed mod 2 = 0 then MT.Train_then_trigger else MT.Burst_poison in
+      let strength = 0.3 +. (0.65 *. float_of_int (seed mod 7) /. 6.0) in
+      let b = MT.build schedule ~strength ~params ~seed ~scale:0.3 in
+      let tr = TS.record b.population b.config in
+      paths_agree tr params (Pop.size b.population))
+
+(* The merged traces are fabricated (Trace_store.of_events, not a
+   Stream recording): the chunk decode must agree with boxed replay on
+   them too. *)
+let qcheck_interleave_batch_equals_scalar =
+  QCheck.Test.make
+    ~name:"batched chunk decode == scalar replay on interleaved multi-context traces"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let params = gen_params (Prng.create (seed + 31)) in
+      let schedule = if seed mod 2 = 0 then IL.Round_robin else IL.Bursty in
+      let m = IL.build schedule ~seed ~scale:0.25 in
+      let check (_, _, tr) = paths_agree tr params (TS.n_branches tr) in
+      check m.shared && check m.split)
+
 (* Engine.run: every path — hookless batched (explicit trace and the
    auto memo), raw observer, boxed observer — produces identical
    results, and the raw observer sees the boxed observer's exact
@@ -523,6 +574,9 @@ let suite =
     Alcotest.test_case "observe validates non-decreasing instr" `Quick
       test_observe_monotonic_guard;
     QCheck_alcotest.to_alcotest qcheck_batch_equals_scalar;
+    QCheck_alcotest.to_alcotest qcheck_adversary_batch_equals_scalar;
+    QCheck_alcotest.to_alcotest qcheck_mistrain_batch_equals_scalar;
+    QCheck_alcotest.to_alcotest qcheck_interleave_batch_equals_scalar;
     Alcotest.test_case "engine paths agree (batched/raw/boxed/auto)" `Quick
       test_engine_paths_agree;
   ]

@@ -17,7 +17,7 @@ let ctx = lazy (E.Context.create ~seed:7 ~scale:0.02 ~tau:10 ~jobs:1 ())
 let names = List.map R.name R.all
 
 let test_unique_names () =
-  Alcotest.(check int) "at least the 18 paper artifacts" 18 (List.length R.all);
+  Alcotest.(check int) "18 paper artifacts + 3 adversarial entries" 21 (List.length R.all);
   Alcotest.(check int)
     "names unique" (List.length names)
     (List.length (List.sort_uniq compare names))
@@ -82,7 +82,7 @@ let test_select () =
       "overlapping patterns collapse duplicates" true
       (List.length es = List.length (List.sort_uniq compare (List.map R.name es)))
   | Error e -> Alcotest.fail e);
-  match R.select [ "figure2"; "bogus*" ] with
+  (match R.select [ "figure2"; "bogus*" ] with
   | Ok _ -> Alcotest.fail "unmatched pattern must be an error"
   | Error msg ->
     let contains hay needle =
@@ -90,7 +90,37 @@ let test_select () =
       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
       go 0
     in
-    Alcotest.(check bool) "error names the pattern" true (contains msg "bogus")
+    Alcotest.(check bool) "error names the pattern" true (contains msg "bogus"));
+  (* regression lock-in: the exact message `rspec run` prints (prefixed
+     "rspec: ") before exiting non-zero on an unmatched glob *)
+  match R.select [ "no_such_entry*" ] with
+  | Ok _ -> Alcotest.fail "unmatched glob must be an error"
+  | Error msg ->
+    Alcotest.(check string)
+      "exact unmatched-glob message"
+      "no experiment matches \"no_such_entry*\" (see `rspec list`)" msg
+
+(* The three adversarial entries each publish a claims-style verdicts
+   sheet; hold every such sheet to the one schema so downstream
+   consumers can union them. *)
+let test_verdict_sheet_schema () =
+  let with_verdicts =
+    List.filter (fun e -> List.mem "verdicts" (sheet_names e)) R.all
+  in
+  Alcotest.(check bool)
+    "claims + the three adversarial entries publish verdicts" true
+    (List.length with_verdicts >= 4);
+  List.iter
+    (fun (R.Entry s as e) ->
+      List.iter
+        (fun (sh : _ R.sheet) ->
+          if sh.sheet = "verdicts" then
+            Alcotest.(check (list string))
+              (R.name e ^ " verdict sheet schema")
+              [ "claim"; "measured"; "pass" ]
+              (List.map (fun (c : R.column) -> c.col) sh.columns))
+        s.sheets)
+    with_verdicts
 
 let kind_matches (k : R.kind) (v : R.value) =
   match (k, v) with
@@ -140,6 +170,7 @@ let suite =
     Alcotest.test_case "find" `Quick test_find;
     Alcotest.test_case "glob" `Quick test_glob;
     Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "verdict sheet schema" `Quick test_verdict_sheet_schema;
   ]
   @ List.map
       (fun e -> Alcotest.test_case (R.name e ^ " schema") `Slow (test_execute_entry e))

@@ -1,6 +1,11 @@
 module BM = Rs_workload.Benchmark
+module Adv = Rs_workload.Adversary
+module MT = Rs_workload.Mistrain
+module IL = Rs_workload.Interleave
 module Pop = Rs_behavior.Population
 module Stream = Rs_behavior.Stream
+module TS = Rs_behavior.Trace_store
+module Prng = Rs_util.Prng
 
 let tau = BM.default_tau
 
@@ -100,6 +105,118 @@ let test_biased_class_size () =
   (* gcc's Table 3 bias column is 2068 *)
   Alcotest.(check bool) "near the paper target" true (abs (expected - 2068) < 80)
 
+(* ---------------------------------------------------------------------- *)
+(* Adversarial scenario family                                             *)
+(* ---------------------------------------------------------------------- *)
+
+let spec_list pop = List.init (Pop.size pop) (fun i -> Pop.spec pop i)
+
+(* Determinism in the full input tuple: identical (scenario, seed, scale,
+   params) must rebuild structurally identical populations and configs —
+   the registry, the trace cache and the golden snapshots all lean on
+   this. *)
+let qcheck_adversary_deterministic =
+  QCheck.Test.make
+    ~name:"Adversary/Mistrain builds deterministic in (scenario, seed, scale, params)"
+    ~count:30
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, salt) ->
+      let params = Test_batch.gen_params (Prng.create (salt + 1)) in
+      let scale = [| 0.05; 0.25; 1.0 |].(salt mod 3) in
+      let sc = List.nth Adv.all (salt mod List.length Adv.all) in
+      let p1, c1 = Adv.build sc ~params ~seed ~scale in
+      let p2, c2 = Adv.build sc ~params ~seed ~scale in
+      let schedule = if salt mod 2 = 0 then MT.Train_then_trigger else MT.Burst_poison in
+      let strength = 0.3 +. (0.65 *. float_of_int (salt mod 7) /. 6.0) in
+      let m1 = MT.build schedule ~strength ~params ~seed ~scale in
+      let m2 = MT.build schedule ~strength ~params ~seed ~scale in
+      c1 = c2
+      && spec_list p1 = spec_list p2
+      && m1.config = m2.config
+      && m1.victims = m2.victims
+      && spec_list m1.population = spec_list m2.population)
+
+(* Quarantine monotonicity: under the same schedule, a stronger poison
+   climbs the eviction counter faster, so the deployed code must stop
+   speculating no later (small slack for stream-scheduling noise). *)
+let test_quarantine_monotone () =
+  let params =
+    Rs_core.Params.compress ~factor:200 { Rs_core.Params.default with monitor_period = 50 }
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun schedule ->
+          let mean_q strength =
+            let b = MT.build schedule ~strength ~params ~seed ~scale:0.05 in
+            let tr = TS.record b.population b.config in
+            let q = Rs_sim.Quarantine.create ~n_branches:(TS.n_branches tr) in
+            let (_ : Rs_sim.Engine.result) =
+              Rs_sim.Engine.run
+                ~observer_raw:(Rs_sim.Quarantine.observer q)
+                ~trace:tr b.population b.config params
+            in
+            match
+              Array.to_list b.victims
+              |> List.filter_map (fun v -> Rs_sim.Quarantine.time_to_quarantine q v)
+            with
+            | [] ->
+              Alcotest.failf "%s seed %d strength %.1f: victim never quarantined"
+                (MT.schedule_name schedule) seed strength
+            | l ->
+              List.fold_left (fun a (e, _) -> a +. float_of_int e) 0.0 l
+              /. float_of_int (List.length l)
+          in
+          let strong = mean_q 0.9 and weak = mean_q 0.4 in
+          if strong > weak +. 1.0 then
+            Alcotest.failf "%s seed %d: stronger attack quarantined slower (%.0f vs %.0f)"
+              (MT.schedule_name schedule) seed strong weak)
+        MT.schedules)
+    [ 3; 11; 42 ]
+
+(* The merged multi-context views must preserve each context's events
+   exactly — same count per context, globally non-decreasing instruction
+   counts, and the shared/split views differing only in branch ids. *)
+let test_interleave_merge_preserved () =
+  List.iter
+    (fun schedule ->
+      List.iter
+        (fun seed ->
+          let m = IL.build schedule ~seed ~scale:0.3 in
+          let n = IL.branches_per_context ~scale:0.3 in
+          let per_ctx = n * IL.execs_per_branch in
+          Array.iteri
+            (fun c got ->
+              if got <> per_ctx then
+                Alcotest.failf "context %d contributed %d events, wanted %d" c got per_ctx)
+            m.per_context_events;
+          let _, _, split_tr = m.split in
+          let counts = Array.make IL.n_contexts 0 in
+          let last = ref 0 in
+          let mono = ref true in
+          TS.replay split_tr (fun (ev : Stream.event) ->
+              counts.(ev.branch / n) <- counts.(ev.branch / n) + 1;
+              if ev.instr < !last then mono := false;
+              last := ev.instr);
+          Alcotest.(check bool) "instr non-decreasing across the merge" true !mono;
+          Alcotest.(check (array int))
+            "split view preserves per-context event counts" m.per_context_events counts;
+          let decode tr =
+            let acc = ref [] in
+            TS.iter_packed tr (fun chunk len ->
+                for i = 0 to len - 1 do
+                  let w = chunk.(i) in
+                  acc := (TS.packed_taken w, TS.packed_delta w) :: !acc
+                done);
+            !acc
+          in
+          let _, _, shared_tr = m.shared in
+          Alcotest.(check bool)
+            "shared and split views carry the same outcome/delta sequence" true
+            (decode shared_tr = decode split_tr))
+        [ 3; 11 ])
+    IL.schedules
+
 let suite =
   [
     Alcotest.test_case "twelve benchmarks" `Quick test_twelve_benchmarks;
@@ -111,4 +228,9 @@ let suite =
     Alcotest.test_case "train input differs" `Quick test_train_input_differs;
     Alcotest.test_case "scaled run smoke" `Slow test_scaled_run_smoke;
     Alcotest.test_case "biased class size" `Quick test_biased_class_size;
+    QCheck_alcotest.to_alcotest qcheck_adversary_deterministic;
+    Alcotest.test_case "quarantine monotone in mistraining strength" `Slow
+      test_quarantine_monotone;
+    Alcotest.test_case "interleave merge preserves per-context events" `Slow
+      test_interleave_merge_preserved;
   ]
