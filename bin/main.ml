@@ -277,6 +277,216 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available reproductions") Term.(const run $ const ())
 
+(* --- the online service (`rspec serve` / `rspec drive`) ------------- *)
+
+module Benchmark = Rs_workload.Benchmark
+
+let fail_cli fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "rspec: %s\n" msg;
+      exit 2)
+    fmt
+
+let find_bench name =
+  match Benchmark.find name with
+  | b -> b
+  | exception Not_found ->
+    fail_cli "unknown benchmark %s (expected one of %s)" name
+      (String.concat ", " Benchmark.names)
+
+let input_conv = Arg.enum [ ("ref", Benchmark.Ref); ("train", Benchmark.Train) ]
+let input_name = function Benchmark.Ref -> "ref" | Benchmark.Train -> "train"
+
+let serve_args =
+  let socket =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let stdio =
+    let doc = "Serve a single length-prefixed connection on stdin/stdout instead of a socket." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let branches =
+    let doc = "Serve a branch id space of $(docv) branches (alternative to $(b,--bench))." in
+    Arg.(value & opt (some int) None & info [ "branches" ] ~docv:"N" ~doc)
+  in
+  let bench =
+    let doc =
+      "Size the branch id space from this benchmark's population (see $(b,rspec list) and \
+       $(b,rspec drive))."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME" ~doc)
+  in
+  let input = Arg.(value & opt input_conv Benchmark.Ref & info [ "input" ] ~docv:"INPUT") in
+  let scale = Arg.(value & opt float E.Context.default.scale & info [ "scale" ] ~docv:"SCALE") in
+  let seed = Arg.(value & opt int E.Context.default.seed & info [ "seed" ] ~docv:"SEED") in
+  let tau =
+    let doc = "Time-compression factor for the controller parameters." in
+    Arg.(value & opt int Benchmark.default_tau & info [ "tau" ] ~docv:"TAU" ~doc)
+  in
+  let shards =
+    let doc = "Worker shards: branch $(i,b) is owned by shard $(i,b) mod $(docv)." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let snapshot =
+    let doc =
+      "Snapshot file: restored from at startup when present (same branch and shard counts \
+       required), rewritten atomically on every SNAPSHOT request."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc = "Print the metrics-registry summary to stderr on exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let faults =
+    let doc =
+      "Deterministic fault injection spec (also $(b,RS_FAULTS)); the service consults \
+       $(b,serve.accept), $(b,serve.read) and $(b,serve.shard)."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  (socket, stdio, branches, bench, input, scale, seed, tau, shards, snapshot, metrics, faults)
+
+let serve_cmd =
+  let socket, stdio, branches, bench, input, scale, seed, tau, shards, snapshot, metrics, faults =
+    serve_args
+  in
+  let run socket stdio branches bench input scale seed tau shards snapshot metrics faults =
+    (match
+       match faults with
+       | Some spec -> Rs_fault.Fault.configure_spec spec
+       | None -> Rs_fault.Fault.configure_from_env ()
+     with
+    | Ok () -> ()
+    | Error msg -> fail_cli "%s" msg);
+    if metrics then at_exit (fun () -> prerr_string (Rs_obs.Metrics.render_summary ()));
+    let transport =
+      match (socket, stdio) with
+      | Some path, false -> Rs_serve.Server.Unix_socket path
+      | None, true -> Rs_serve.Server.Stdio
+      | None, false -> fail_cli "serve needs --socket PATH or --stdio"
+      | Some _, true -> fail_cli "--socket and --stdio are mutually exclusive"
+    in
+    let n_branches =
+      match (branches, bench) with
+      | Some n, None -> n
+      | None, Some name ->
+        let pop, _ = Benchmark.build (find_bench name) ~input ~seed ~scale ~tau in
+        Rs_behavior.Population.size pop
+      | None, None -> fail_cli "serve needs --branches N or --bench NAME"
+      | Some _, Some _ -> fail_cli "--branches and --bench are mutually exclusive"
+    in
+    if n_branches <= 0 then fail_cli "--branches must be positive";
+    if shards <= 0 then fail_cli "--shards must be positive";
+    let params = Rs_core.Params.compress ~factor:tau Rs_core.Params.default in
+    Rs_serve.Server.run { params; n_branches; shards; transport; snapshot_path = snapshot }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online speculation-control service: a long-lived process ingesting packed \
+          branch-event frames over a Unix-domain socket (or stdio), sharding controller \
+          state across worker domains, answering QUERY/STATS/SNAPSHOT requests.  See README \
+          'Online service'.")
+    Term.(
+      const run $ socket $ stdio $ branches $ bench $ input $ scale $ seed $ tau $ shards
+      $ snapshot $ metrics $ faults)
+
+let rec connect_retry path tries =
+  match Rs_serve.Client.connect path with
+  | c -> c
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+    Unix.sleepf 0.1;
+    connect_retry path (tries - 1)
+
+(* FNV-1a over the per-branch decision codes: a stable one-line digest
+   of the server's whole deployed state, diffable across shard counts
+   and snapshot/restore. *)
+let fnv_fold h code = (h lxor code) * 0x01000193 land 0xffffffff
+
+let drive_cmd =
+  let socket =
+    let doc = "Server socket path." in
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let bench =
+    let doc = "Benchmark whose recorded event stream to ship." in
+    Arg.(required & opt (some string) None & info [ "bench" ] ~docv:"NAME" ~doc)
+  in
+  let input = Arg.(value & opt input_conv Benchmark.Ref & info [ "input" ] ~docv:"INPUT") in
+  let scale = Arg.(value & opt float E.Context.default.scale & info [ "scale" ] ~docv:"SCALE") in
+  let seed = Arg.(value & opt int E.Context.default.seed & info [ "seed" ] ~docv:"SEED") in
+  let tau = Arg.(value & opt int Benchmark.default_tau & info [ "tau" ] ~docv:"TAU") in
+  let repeat =
+    let doc = "Ship the trace $(docv) times (one continuous logical stream)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let stats_json =
+    let doc = "Write the server's STATS JSON document to $(docv) after flushing." in
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+  in
+  let snapshot_out =
+    let doc = "Request a SNAPSHOT after flushing and write its bytes to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "snapshot-out" ] ~docv:"FILE" ~doc)
+  in
+  let shutdown =
+    let doc = "Send SHUTDOWN when done." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let run socket bench input scale seed tau repeat stats_json snapshot_out shutdown =
+    if repeat <= 0 then fail_cli "--repeat must be positive";
+    let b = find_bench bench in
+    let pop, stream_cfg = Benchmark.build b ~input ~seed ~scale ~tau in
+    let trace = Rs_behavior.Trace_store.record pop stream_cfg in
+    let n_branches = Rs_behavior.Population.size pop in
+    let c = connect_retry socket 100 in
+    for _ = 1 to repeat do
+      Rs_serve.Client.send_trace c trace
+    done;
+    let flushed = Rs_serve.Client.flush c in
+    let counts = Array.make 4 0 in
+    let hash = ref 0x811c9dc5 in
+    for branch = 0 to n_branches - 1 do
+      match Rs_serve.Client.query c branch with
+      | Ok code ->
+        counts.(code) <- counts.(code) + 1;
+        hash := fnv_fold !hash code
+      | Error msg -> fail_cli "query %d: %s" branch msg
+    done;
+    Printf.printf "drive: bench=%s input=%s branches=%d events=%d repeat=%d flushed=%d\n" bench
+      (input_name input) n_branches
+      (Rs_behavior.Trace_store.length trace * repeat)
+      repeat flushed;
+    Printf.printf "decisions: code0=%d code1=%d code2=%d code3=%d hash=0x%08x\n" counts.(0)
+      counts.(1) counts.(2) counts.(3) !hash;
+    (match stats_json with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Rs_serve.Client.stats c);
+      output_char oc '\n';
+      close_out oc
+    | None -> ());
+    (match snapshot_out with
+    | Some file ->
+      let oc = open_out_bin file in
+      output_string oc (Rs_serve.Client.snapshot c);
+      close_out oc
+    | None -> ());
+    if shutdown then ignore (Rs_serve.Client.shutdown c);
+    Rs_serve.Client.close c
+  in
+  Cmd.v
+    (Cmd.info "drive"
+       ~doc:
+         "Drive a running $(b,rspec serve): record a benchmark's event stream, ship it (in \
+          32k-word packed frames), flush, and print a deterministic digest of the server's \
+          deployed decisions — byte-identical across shard counts and snapshot/restore.")
+    Term.(
+      const run $ socket $ bench $ input $ scale $ seed $ tau $ repeat $ stats_json
+      $ snapshot_out $ shutdown)
+
 (* One subcommand per registry entry, so `rspec figure2` keeps working. *)
 let cmd_of entry =
   let action ctx =
@@ -290,6 +500,8 @@ let cmd_of entry =
 let main =
   let doc = "reproduce 'Reactive Techniques for Controlling Software Speculation' (CGO 2005)" in
   let info = Cmd.info "rspec" ~version:"1.0.0" ~doc in
-  Cmd.group info (list_cmd :: all_cmd :: run_cmd :: export_cmd :: List.map cmd_of R.all)
+  Cmd.group info
+    (list_cmd :: all_cmd :: run_cmd :: export_cmd :: serve_cmd :: drive_cmd
+    :: List.map cmd_of R.all)
 
 let () = exit (Cmd.eval main)

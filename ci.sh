@@ -176,4 +176,73 @@ else
 fi
 rm -f "$BENCH_JSON"
 
+# Online-service stage: a real `rspec serve` process on a temp Unix
+# socket, driven by `rspec drive` with a figure2-scale recorded stream.
+# Gates, in order: the STATS counters balance and the 4-shard server
+# sustains >= 1M events/sec aggregate (busy-time based, so socket and
+# client speed cannot mask a slow controller); the decisions digest is
+# byte-identical at 1 and 4 shards; snapshot -> restart -> replay of the
+# suffix reproduces the full run's snapshot bytes and digest; and the
+# whole snapshot scenario repeats under an RS_FAULTS plan raising at
+# serve.shard (with delays across all serve.* sites) without changing a
+# byte — injected shard stalls are retried, never dropped or
+# double-applied.
+echo "== serve (throughput / shard invariance / snapshot / chaos) =="
+SERVE_DIR=$(mktemp -d /tmp/rs_serve.XXXXXX)
+SOCK="$SERVE_DIR/rspec.sock"
+SERVE_ARGS=(--bench gzip --scale 0.02 --seed 3 --tau 10)
+SERVE_FAULTS="seed=11,rate=0.8,max_raises=2,sites=serve.shard,delay=0.3,delay_us=500,delay_sites=serve"
+
+run_drive() { # run_drive <shards> <repeat> <digest-file> [drive flags...]
+  local shards=$1 repeat=$2 digest=$3; shift 3
+  "$RSPEC" serve --socket "$SOCK" "${SERVE_ARGS[@]}" --shards "$shards" ${SERVE_SNAPSHOT:+--snapshot "$SERVE_SNAPSHOT"} &
+  local pid=$!
+  timeout 600 "$RSPEC" drive --socket "$SOCK" "${SERVE_ARGS[@]}" --repeat "$repeat" --shutdown "$@" > "$digest"
+  wait "$pid"
+}
+
+run_drive 4 40 "$SERVE_DIR/d4.txt" --stats-json "$SERVE_DIR/stats.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.events == .applied and .protocol_errors == 0 and .shards == 4' "$SERVE_DIR/stats.json" >/dev/null
+  jq -e '.aggregate_rate_eps >= 1000000' "$SERVE_DIR/stats.json" >/dev/null \
+    || { echo "serve throughput gate failed (< 1M events/sec aggregate):" >&2
+         jq '{events, aggregate_rate_eps, shards_detail}' "$SERVE_DIR/stats.json" >&2
+         exit 1; }
+  echo "serve stats ok: $(jq -c '{events, shards, aggregate_rate_eps}' "$SERVE_DIR/stats.json")"
+else
+  echo "serve stats written ($SERVE_DIR/stats.json); jq not installed, skipping assertions"
+fi
+
+run_drive 1 40 "$SERVE_DIR/d1.txt"
+diff <(grep '^decisions:' "$SERVE_DIR/d1.txt") <(grep '^decisions:' "$SERVE_DIR/d4.txt") \
+  || { echo "decisions digest differs between 1 and 4 shards" >&2; exit 1; }
+echo "serve shard invariance ok: $(grep '^decisions:' "$SERVE_DIR/d4.txt")"
+
+serve_snapshot_scenario() { # serve_snapshot_scenario <suffix> (uses current RS_FAULTS, if any)
+  local tag=$1
+  # one shot: the whole stream (repeat=2), snapshot at the end
+  run_drive 4 2 "$SERVE_DIR/full$tag.txt" --snapshot-out "$SERVE_DIR/snap_full$tag"
+  # two shots: prefix, snapshot to disk, restart from it, suffix
+  rm -f "$SERVE_DIR/snap_mid$tag"
+  SERVE_SNAPSHOT="$SERVE_DIR/snap_mid$tag" \
+    run_drive 4 1 "$SERVE_DIR/prefix$tag.txt" --snapshot-out /dev/null
+  SERVE_SNAPSHOT="$SERVE_DIR/snap_mid$tag" \
+    run_drive 4 1 "$SERVE_DIR/resumed$tag.txt" --snapshot-out "$SERVE_DIR/snap_resumed$tag"
+  cmp "$SERVE_DIR/snap_full$tag" "$SERVE_DIR/snap_resumed$tag" \
+    || { echo "snapshot bytes differ after restore+replay ($tag)" >&2; exit 1; }
+  diff <(grep '^decisions:' "$SERVE_DIR/full$tag.txt") <(grep '^decisions:' "$SERVE_DIR/resumed$tag.txt") \
+    || { echo "decisions digest differs after restore+replay ($tag)" >&2; exit 1; }
+}
+
+serve_snapshot_scenario ""
+echo "serve snapshot/restore ok"
+
+RS_FAULTS="$SERVE_FAULTS" serve_snapshot_scenario "_chaos"
+cmp "$SERVE_DIR/snap_full" "$SERVE_DIR/snap_full_chaos" \
+  || { echo "injected serve.shard faults changed the snapshot bytes" >&2; exit 1; }
+diff <(grep '^decisions:' "$SERVE_DIR/full.txt") <(grep '^decisions:' "$SERVE_DIR/full_chaos.txt") \
+  || { echo "injected serve.shard faults changed the decisions digest" >&2; exit 1; }
+echo "serve chaos ok (RS_FAULTS=$SERVE_FAULTS)"
+rm -rf "$SERVE_DIR"
+
 echo "== ci ok =="

@@ -60,6 +60,10 @@ let record pop (cfg : Stream.config) =
     Stream.iter_raw pop cfg (fun ~branch ~taken ~exec_index:_ ~instr ->
         let delta = instr - !last_instr in
         last_instr := instr;
+        (* A negative delta would pack sign bits into the branch-id field
+           and corrupt it silently; reject it like [of_events] does. *)
+        if delta < 0 then
+          invalid_arg "Trace_store.record: instruction counts must not decrease";
         if delta > max_delta then
           invalid_arg "Trace_store.record: instruction delta does not fit in 20 bits";
         let i = !pos in

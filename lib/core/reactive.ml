@@ -322,6 +322,29 @@ let observe t ~branch ~taken ~instr =
   check t ~caller:"Reactive.observe" ~branch ~instr;
   observe_state t branch (branch * slots) ~taken ~instr
 
+(* Snapshot surface: the packed per-branch words plus the monotonicity
+   cursor are the controller's complete observable state — every
+   [deployed]/[step]/counter accessor reads only these.  The transition
+   log is a debugging artifact and deliberately not part of it. *)
+let export_words t =
+  let n = t.n_branches * slots in
+  let out = Array.make (n + 1) 0 in
+  out.(0) <- t.last_instr;
+  for i = 0 to n - 1 do
+    out.(i + 1) <- A1.unsafe_get t.state i
+  done;
+  out
+
+let import_words t words =
+  let n = t.n_branches * slots in
+  if Array.length words <> n + 1 then
+    invalid_arg "Reactive.import_words: state word count does not match this controller";
+  t.last_instr <- words.(0);
+  for i = 0 to n - 1 do
+    A1.unsafe_set t.state i words.(i + 1)
+  done;
+  t.tr_len <- 0
+
 (* [deployed] followed by [observe], fused into a single state lookup.
    The decision is read before the observation (and before any pending
    deployment this event's [instr] activates inside it), so the caller

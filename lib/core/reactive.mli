@@ -74,6 +74,27 @@ val decision_of_code : int -> Types.decision
 val transitions : t -> Types.transition list
 (** All transitions so far, oldest first. *)
 
+(** {2 State snapshot}
+
+    The controller's complete observable state as plain integers — the
+    packed per-branch state words plus the non-decreasing-[instr]
+    cursor — so a long-lived service can checkpoint controllers and
+    resume them bit-for-bit (the [rspec serve] snapshot format).  The
+    transition log is diagnostic only and is {e not} captured;
+    {!import_words} clears it. *)
+
+val export_words : t -> int array
+(** Length [1 + n_branches * words-per-branch]: the monotonicity cursor
+    followed by the packed state table.  A controller created with the
+    same [params] and [n_branches] that {!import_words}s this array
+    answers every {!deployed}/{!step}/counter query identically. *)
+
+val import_words : t -> int array -> unit
+(** Overwrite this controller's state with a previous {!export_words}.
+    The caller must recreate the controller with the same parameters and
+    branch count that produced the snapshot.
+    @raise Invalid_argument if the array length does not match. *)
+
 (** Per-branch summary counters, for Table 3. *)
 
 val selections : t -> int -> int

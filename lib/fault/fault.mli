@@ -6,9 +6,10 @@
     concurrency layer — the artifact cache's compute bodies
     (["cache.build"], ["cache.profile"], ["cache.run"]), the domain pool
     (["pool.task"], ["pool.worker_start"]), the trace sink
-    (["trace.write"]) and the packed trace store's recorder
-    (["trace_store.record"]) — into raises and delays scheduled by a
-    {!plan}.
+    (["trace.write"]), the packed trace store's recorder
+    (["trace_store.record"]) and the online service ({!Rs_serve},
+    ["serve.accept"], ["serve.read"], ["serve.shard"]) — into raises
+    and delays scheduled by a {!plan}.
 
     The action at a site is a pure function of
     [(plan seed, site, key, attempt)], where [attempt] counts how many

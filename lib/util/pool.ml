@@ -29,7 +29,19 @@ exception Closed
 
 let m_tasks = Rs_obs.Metrics.counter "pool.tasks"
 let m_worker_failures = Rs_obs.Metrics.counter "pool.worker_failures"
+let m_suppressed_failures = Rs_obs.Metrics.counter "pool.suppressed_failures"
 let g_jobs = Rs_obs.Metrics.gauge "pool.jobs"
+
+(* Queued thunks come from two sources: [map_ordered]'s steps, which
+   trap their own element errors, and [post]ed fire-and-forget tasks,
+   which may raise anything.  Every executor — worker domains and
+   callers helping while they wait — runs tasks through this guard, so
+   one raising thunk can neither kill a worker domain (silently
+   shrinking the pool forever) nor surface inside an unrelated caller's
+   [map_ordered]. *)
+let run_task task =
+  try task ()
+  with _ -> Rs_obs.Metrics.incr m_worker_failures
 
 (* Injection point for rs_fault, which sits above this library in the
    dependency graph (it needs Prng) and so cannot be called directly. *)
@@ -54,7 +66,7 @@ let worker_loop t =
     Mutex.unlock t.mutex;
     match task with
     | Some task ->
-      task ();
+      run_task task;
       loop ()
     | None -> ()
   in
@@ -153,7 +165,7 @@ let map_ordered (type b) t f arr =
       (try
          !fault_hook ~site:"pool.task" ~key:(string_of_int i);
          results.(i) <- Some (f arr.(i))
-       with e -> errors.(i) <- Some e);
+       with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
       if traced then
         Rs_obs.Trace.emit "task" [ S ("event", "stop"); I ("domain", dom); I ("index", i) ];
       Mutex.lock t.mutex;
@@ -172,17 +184,42 @@ let map_ordered (type b) t f arr =
       match Queue.take_opt t.work with
       | Some task ->
         Mutex.unlock t.mutex;
-        task ();
+        run_task task;
         Mutex.lock t.mutex
       | None -> Condition.wait t.wake t.mutex
     done;
     Mutex.unlock t.mutex;
-    Array.iter (function Some e -> raise e | None -> ()) errors;
+    (* Re-raise the lowest-indexed failure with its original backtrace;
+       further failures cannot also propagate, so they are surfaced
+       through the [pool.suppressed_failures] counter instead of being
+       silently discarded. *)
+    let first = ref None in
+    let suppressed = ref 0 in
+    Array.iter
+      (function
+        | Some eb -> if Option.is_none !first then first := Some eb else incr suppressed
+        | None -> ())
+      errors;
+    (match !first with
+    | Some (e, bt) ->
+      if !suppressed > 0 then Rs_obs.Metrics.add m_suppressed_failures !suppressed;
+      Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.map (function Some r -> r | None -> assert false) results
   end
 
 let run_all t thunks =
   Array.to_list (map_ordered t (fun thunk -> thunk ()) (Array.of_list thunks))
+
+let post t thunk =
+  Mutex.lock t.mutex;
+  if not t.live then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
+  Queue.add thunk t.work;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex
 
 (* Process-wide pool, sized by the most recent request. *)
 let shared_mutex = Mutex.create ()

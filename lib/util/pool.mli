@@ -41,16 +41,35 @@ val jobs : t -> int
 val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_ordered t f arr] applies [f] to every element, running up to
     [jobs t] applications concurrently, and returns the results in input
-    order.  If any application raises, the exception of the
+    order.
+
+    Error aggregation: if any application raises, the exception of the
     {e lowest-indexed} failing element is re-raised in the caller after
     all scheduled work settles (deterministic regardless of which worker
-    failed first); the pool remains usable.  Raises {!Closed} if the
-    pool has been shut down. *)
+    failed first), with the {e original} backtrace of the failing task
+    preserved via [Printexc.raise_with_backtrace].  When several
+    elements fail, only the lowest-indexed exception can propagate; the
+    others are counted in the [pool.suppressed_failures] metric of
+    {!Rs_obs.Metrics} (one increment per additional failure) rather than
+    silently discarded.  The pool remains usable after a failed map.
+    Raises {!Closed} if the pool has been shut down. *)
 
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** Heterogeneous fan-out: run every thunk (concurrently, order
     unspecified) and return their results in list order.  Same exception
     contract as {!map_ordered}. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue a thunk on the shared work queue and return
+    immediately.  The thunk runs on whichever worker (or helping caller)
+    drains it next; there is no completion notification.  A raising
+    posted thunk never kills its executor — every queue task runs under
+    a guard that traps the exception and counts it in the
+    [pool.worker_failures] metric, keeping the worker domain (and the
+    pool's parallelism width) alive.  Note that a pool created with
+    [jobs = 1] has no worker domains: posted thunks only execute when
+    some concurrent [map_ordered] drains the queue.  Raises {!Closed}
+    on a shut-down pool. *)
 
 val close : t -> unit
 (** Shut the workers down and join their domains.  Called while maps are

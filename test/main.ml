@@ -18,6 +18,7 @@ let () =
         ("fault", Test_fault.suite);
         ("behavior", Test_behavior.suite);
         ("trace-store", Test_trace_store.suite);
+        ("serve", Test_serve.suite);
         ("core-static", Test_static.suite);
         ("core-reactive", Test_reactive.suite);
         ("batch", Test_batch.suite);

@@ -94,6 +94,73 @@ let test_run_all () =
   in
   Alcotest.(check (list string)) "thunk results in order" [ "a"; "b"; "c" ] out
 
+(* A failing map re-raises only its lowest-indexed error; the rest must
+   be surfaced through the pool.suppressed_failures counter instead of
+   being silently discarded. *)
+let test_suppressed_failures_counted () =
+  let c = Rs_obs.Metrics.counter "pool.suppressed_failures" in
+  let before = Rs_obs.Metrics.counter_value c in
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  (try
+     ignore
+       (Pool.map_ordered pool
+          (fun i -> if i mod 4 = 0 then failwith (Printf.sprintf "boom %d" i) else i)
+          (Array.init 16 (fun i -> i)))
+   with Failure _ -> ());
+  (* failures at 0, 4, 8, 12: index 0 propagates, three are suppressed *)
+  Alcotest.(check int) "suppressed failures counted" 3 (Rs_obs.Metrics.counter_value c - before)
+
+let[@inline never] deep_raise () = failwith "from-deep-raise"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* The re-raise must carry the worker-side backtrace of the original
+   failure, not the backtrace of the re-raise site inside pool.ml. *)
+let test_backtrace_preserved () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  let pool = Pool.create ~jobs:3 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  match
+    Pool.map_ordered pool
+      (fun i -> if i = 2 then deep_raise () else i)
+      (Array.init 8 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected the map to raise"
+  | exception Failure msg ->
+    let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+    Alcotest.(check string) "original exception" "from-deep-raise" msg;
+    Alcotest.(check bool)
+      (Printf.sprintf "backtrace points into the raising task (got: %s)" bt)
+      true
+      (contains bt "test_pool" || not (Printexc.backtrace_status ()))
+
+(* A posted fire-and-forget thunk that raises must be trapped and
+   counted, not kill the worker domain that ran it. *)
+let test_post_survives_raising_thunk () =
+  let c = Rs_obs.Metrics.counter "pool.worker_failures" in
+  let before = Rs_obs.Metrics.counter_value c in
+  let pool = Pool.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+  let flag = Atomic.make false in
+  Pool.post pool (fun () -> failwith "posted boom");
+  Pool.post pool (fun () -> Atomic.set flag true);
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get flag)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check bool) "worker survived and ran the next thunk" true (Atomic.get flag);
+  Alcotest.(check bool) "failure counted in pool.worker_failures" true
+    (Rs_obs.Metrics.counter_value c - before >= 1);
+  (* the pool is still fully usable for ordered maps *)
+  let out = Pool.map_ordered pool (fun i -> i * 2) (Array.init 8 (fun i -> i)) in
+  Alcotest.(check int) "map after posted failure" 14 out.(7)
+
 let suite =
   [
     Alcotest.test_case "ordering under contention" `Quick test_ordering;
@@ -101,4 +168,7 @@ let suite =
     Alcotest.test_case "reuse and nesting" `Quick test_reuse_and_nesting;
     Alcotest.test_case "sequential path" `Quick test_sequential_path;
     Alcotest.test_case "run_all" `Quick test_run_all;
+    Alcotest.test_case "suppressed failures counted" `Quick test_suppressed_failures_counted;
+    Alcotest.test_case "backtrace preserved" `Quick test_backtrace_preserved;
+    Alcotest.test_case "post survives raising thunk" `Quick test_post_survives_raising_thunk;
   ]

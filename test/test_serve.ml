@@ -1,0 +1,410 @@
+(* The online service: wire-protocol round-trips, shard-count
+   invariance against a direct Reactive reference, snapshot/restore
+   byte-identity, protocol-error isolation between clients, and chaos
+   under injected serve.* faults. *)
+
+module Proto = Rs_serve.Protocol
+module Server = Rs_serve.Server
+module Client = Rs_serve.Client
+module R = Rs_core.Reactive
+module P = Rs_core.Params
+module TS = Rs_behavior.Trace_store
+module Fault = Rs_fault.Fault
+
+(* Small parameters so state transitions happen within a few thousand
+   events (same shape as the reactive-controller tests). *)
+let tiny =
+  {
+    P.default with
+    monitor_period = 10;
+    selection_threshold = 0.9;
+    evict_threshold = 100;
+    misspec_step = 50;
+    correct_step = 1;
+    wait_period = 50;
+    oscillation_limit = 3;
+    optimization_latency = 0;
+  }
+
+let pack ~branch ~taken ~delta = (branch lsl 21) lor (delta lsl 1) lor (if taken then 1 else 0)
+
+(* A deterministic synthetic stream with per-branch biases spread from
+   strongly-taken through unbiased, so selections, evictions and
+   declared-unbiased arcs all fire. *)
+let synth_words ~seed ~n_branches ~n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      let branch = Random.State.int st n_branches in
+      let bias = 0.5 +. (0.5 *. float_of_int branch /. float_of_int n_branches) in
+      let taken = Random.State.float st 1.0 < bias in
+      let delta = 1 + Random.State.int st 7 in
+      pack ~branch ~taken ~delta)
+
+(* Ground truth: one unsharded controller observing the same stream. *)
+let reference_codes ~params ~n_branches words =
+  let c = R.create ~n_branches params in
+  let instr = ref 0 in
+  Array.iter
+    (fun w ->
+      instr := !instr + TS.packed_delta w;
+      R.observe c ~branch:(TS.packed_branch w) ~taken:(TS.packed_taken w) ~instr:!instr)
+    words;
+  Array.init n_branches (R.deployed_code c)
+
+(* --- in-process servers -------------------------------------------------- *)
+
+(* Single-connection server over a socketpair (the Fd_pair transport the
+   tests exist for); the server runs in its own domain. *)
+let with_fd_server ?snapshot_path ~params ~n_branches ~shards f =
+  let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.run
+          { params; n_branches; shards; transport = Fd_pair (srv_fd, srv_fd); snapshot_path })
+  in
+  let c = Client.of_fd cli_fd in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try ignore (Client.shutdown c) with _ -> ());
+        Client.close c;
+        Domain.join dom)
+      (fun () -> f c)
+  in
+  result
+
+(* Listening server on a temp socket path, for multi-client tests. *)
+let with_socket_server ~params ~n_branches ~shards f =
+  let path = Filename.temp_file "rs_serve_test" ".sock" in
+  Sys.remove path;
+  let dom =
+    Domain.spawn (fun () ->
+        Server.run { params; n_branches; shards; transport = Unix_socket path; snapshot_path = None })
+  in
+  let rec wait n =
+    if not (Sys.file_exists path) then
+      if n = 0 then failwith "server socket never appeared"
+      else begin
+        Unix.sleepf 0.01;
+        wait (n - 1)
+      end
+  in
+  wait 500;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Client.connect path in
+         (try ignore (Client.shutdown c) with _ -> ());
+         Client.close c
+       with _ -> ());
+      Domain.join dom;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let query_codes c n_branches =
+  Array.init n_branches (fun b ->
+      match Client.query c b with
+      | Ok code -> code
+      | Error msg -> Alcotest.failf "query %d: %s" b msg)
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let request_eq (a : Proto.request) (b : Proto.request) =
+  match (a, b) with Events x, Events y -> x = y | x, y -> x = y
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map
+            (fun ws -> Proto.Events (Array.of_list ws))
+            (list_size (int_range 1 200)
+               (map2
+                  (fun w taken -> (w land ((1 lsl 40) - 1) * 2) lor Bool.to_int taken)
+                  (int_bound max_int) bool)) );
+        (2, map (fun b -> Proto.Query b) (int_bound 1_000_000));
+        (1, return Proto.Flush);
+        (1, return Proto.Stats);
+        (1, return Proto.Snapshot);
+        (1, return Proto.Shutdown);
+      ])
+
+let qcheck_protocol_roundtrip =
+  QCheck.Test.make ~name:"protocol request round-trip through sliced feeds" ~count:100
+    QCheck.(
+      pair (make ~print:(fun l -> string_of_int (List.length l)) (Gen.list_size (Gen.int_range 1 8) gen_request)) (int_range 1 64))
+    (fun (reqs, slice) ->
+      let buf = Buffer.create 256 in
+      List.iter (fun r -> Buffer.add_bytes buf (Proto.encode_request r)) reqs;
+      let bytes = Buffer.to_bytes buf in
+      let dec = Proto.decoder () in
+      let out = ref [] in
+      let n = Bytes.length bytes in
+      let off = ref 0 in
+      while !off < n do
+        let len = min slice (n - !off) in
+        Proto.feed dec bytes !off len;
+        off := !off + len;
+        let rec drain () =
+          match Proto.next_request dec with
+          | Some r ->
+            out := r :: !out;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      Proto.pending dec = 0 && List.for_all2 request_eq reqs (List.rev !out))
+
+let test_reply_roundtrip () =
+  let replies =
+    [
+      Proto.Ack 0;
+      Proto.Ack max_int;
+      Proto.Decision 3;
+      Proto.Stats_reply "{\"x\":1}";
+      Proto.Snapshot_reply (String.init 999 (fun i -> Char.chr (i land 0xff)));
+      Proto.Error_reply "nope";
+    ]
+  in
+  let dec = Proto.decoder () in
+  List.iter
+    (fun r ->
+      let b = Proto.encode_reply r in
+      Proto.feed dec b 0 (Bytes.length b))
+    replies;
+  List.iter
+    (fun expected ->
+      match Proto.next_reply dec with
+      | Some got -> Alcotest.(check bool) "reply round-trips" true (got = expected)
+      | None -> Alcotest.fail "reply missing")
+    replies;
+  Alcotest.(check int) "decoder drained" 0 (Proto.pending dec)
+
+let test_protocol_rejects () =
+  Alcotest.check_raises "empty events"
+    (Invalid_argument "Protocol.encode_request: events frame must carry 1..32768 words")
+    (fun () -> ignore (Proto.encode_request (Events [||])));
+  let dec = Proto.decoder () in
+  let b = Bytes.create Proto.header_bytes in
+  Bytes.set_int32_le b 0 0l;
+  Bytes.set b 4 '\x7f';
+  Proto.feed dec b 0 Proto.header_bytes;
+  (match Proto.next_request dec with
+  | exception Proto.Error _ -> ()
+  | _ -> Alcotest.fail "unknown tag must raise");
+  (* a negative (sign-bit) event word is the wire image of the
+     negative-delta corruption Trace_store.record rejects *)
+  let dec = Proto.decoder () in
+  let b = Bytes.create (Proto.header_bytes + 8) in
+  Bytes.set_int32_le b 0 8l;
+  Bytes.set b 4 '\x01';
+  Bytes.set_int64_le b 5 Int64.min_int;
+  Proto.feed dec b 0 (Bytes.length b);
+  match Proto.next_request dec with
+  | exception Proto.Error _ -> ()
+  | _ -> Alcotest.fail "negative event word must raise"
+
+(* --- shard invariance ---------------------------------------------------- *)
+
+let test_shard_invariance () =
+  let n_branches = 17 in
+  let words = synth_words ~seed:42 ~n_branches ~n:60_000 in
+  let reference = reference_codes ~params:tiny ~n_branches words in
+  List.iter
+    (fun shards ->
+      with_fd_server ~params:tiny ~n_branches ~shards (fun c ->
+          Client.send_events c words;
+          let flushed = Client.flush c in
+          Alcotest.(check int)
+            (Printf.sprintf "all events applied at %d shards" shards)
+            (Array.length words) flushed;
+          Alcotest.(check (array int))
+            (Printf.sprintf "decisions at %d shards match unsharded reference" shards)
+            reference (query_codes c n_branches)))
+    [ 1; 3; 4; 17; 40 ]
+
+(* --- snapshot/restore ---------------------------------------------------- *)
+
+let test_snapshot_restore_identity () =
+  let n_branches = 11 in
+  let shards = 3 in
+  let words = synth_words ~seed:7 ~n_branches ~n:50_000 in
+  let cut = 23_456 in
+  let prefix = Array.sub words 0 cut in
+  let suffix = Array.sub words cut (Array.length words - cut) in
+  (* one shot: the whole stream, snapshot at the end *)
+  let full_snap, full_codes =
+    with_fd_server ~params:tiny ~n_branches ~shards (fun c ->
+        Client.send_events c words;
+        ignore (Client.flush c);
+        (Client.snapshot c, query_codes c n_branches))
+  in
+  (* two shots: prefix, snapshot to disk, restore, suffix *)
+  let path = Filename.temp_file "rs_serve_snap" ".bin" in
+  (* temp_file creates an empty file; the first server must start fresh,
+     not try to restore it *)
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) @@ fun () ->
+  with_fd_server ~params:tiny ~n_branches ~shards ~snapshot_path:path (fun c ->
+      Client.send_events c prefix;
+      ignore (Client.flush c);
+      ignore (Client.snapshot c));
+  let resumed_snap, resumed_codes =
+    with_fd_server ~params:tiny ~n_branches ~shards ~snapshot_path:path (fun c ->
+        Client.send_events c suffix;
+        ignore (Client.flush c);
+        (Client.snapshot c, query_codes c n_branches))
+  in
+  Alcotest.(check bool) "snapshot bytes identical after restore+replay" true
+    (String.equal full_snap resumed_snap);
+  Alcotest.(check (array int)) "decisions identical after restore+replay" full_codes resumed_codes;
+  (* the snapshot codec itself round-trips *)
+  match Rs_serve.Snapshot.decode full_snap with
+  | Error msg -> Alcotest.failf "snapshot decode: %s" msg
+  | Ok snap ->
+    Alcotest.(check int) "snapshot records the event count" (Array.length words)
+      snap.Rs_serve.Snapshot.events;
+    Alcotest.(check bool) "snapshot re-encodes to the same bytes" true
+      (String.equal full_snap (Rs_serve.Snapshot.encode snap))
+
+let test_snapshot_shard_count_pinned () =
+  let snap =
+    {
+      Rs_serve.Snapshot.n_branches = 4;
+      shards = 2;
+      events = 0;
+      last_instr = 0;
+      shard_state = [| [| 0 |]; [| 0 |] |];
+    }
+  in
+  let s = Rs_serve.Snapshot.encode snap in
+  (match Rs_serve.Snapshot.decode s with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "well-formed snapshot rejected: %s" msg);
+  match Rs_serve.Snapshot.decode (String.sub s 0 (String.length s - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated snapshot must be rejected"
+
+(* --- protocol errors and client isolation -------------------------------- *)
+
+let test_bad_client_isolated () =
+  let n_branches = 9 in
+  let words = synth_words ~seed:3 ~n_branches ~n:20_000 in
+  let reference = reference_codes ~params:tiny ~n_branches words in
+  with_socket_server ~params:tiny ~n_branches ~shards:3 (fun path ->
+      let good = Client.connect path in
+      Fun.protect ~finally:(fun () -> Client.close good) @@ fun () ->
+      Client.send_events good words;
+      Alcotest.(check int) "good client flushed" (Array.length words) (Client.flush good);
+      (* a client shipping an events frame with an out-of-range branch
+         gets an error reply and a closed connection — and no state
+         changes *)
+      let bad = Client.connect path in
+      Client.send_events bad [| pack ~branch:(n_branches + 5) ~taken:true ~delta:1 |];
+      (match
+         try `Reply (Client.flush bad) with Failure _ | Unix.Unix_error _ -> `Closed
+       with
+      | `Closed -> ()
+      | `Reply _ -> Alcotest.fail "malformed events frame must close the connection");
+      Client.close bad;
+      (* a client dying mid-frame (partial header) is just a disconnect *)
+      let dying = Client.connect path in
+      let junk = Bytes.of_string "\x08\x00" in
+      ignore (Unix.write (Client.fd dying) junk 0 (Bytes.length junk));
+      Client.close dying;
+      (* the good client's connection and the server state are intact *)
+      Alcotest.(check int) "no events leaked from bad clients" (Array.length words)
+        (Client.flush good);
+      Alcotest.(check (array int)) "decisions unchanged" reference (query_codes good n_branches))
+
+let test_query_error_keeps_connection () =
+  with_fd_server ~params:tiny ~n_branches:5 ~shards:2 (fun c ->
+      (match Client.query c 99 with
+      | Error msg ->
+        Alcotest.(check bool) "error names the range" true
+          (String.length msg > 0 && String.index_opt msg '9' <> None)
+      | Ok _ -> Alcotest.fail "out-of-range query must be an error");
+      (* the same connection still answers *)
+      match Client.query c 0 with
+      | Ok code -> Alcotest.(check bool) "code is 2-bit" true (code >= 0 && code < 4)
+      | Error msg -> Alcotest.failf "in-range query after error: %s" msg)
+
+(* --- chaos ---------------------------------------------------------------- *)
+
+let test_chaos_shard_faults_deterministic () =
+  let n_branches = 13 in
+  let words = synth_words ~seed:9 ~n_branches ~n:40_000 in
+  let reference = reference_codes ~params:tiny ~n_branches words in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Fault.reset ())
+  @@ fun () ->
+  (match
+     Fault.configure_spec
+       "seed=11,rate=0.8,max_raises=2,sites=serve.shard,delay=0.3,delay_us=200,delay_sites=serve"
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "fault spec: %s" msg);
+  with_socket_server ~params:tiny ~n_branches ~shards:3 (fun path ->
+      (* a client that dies mid-frame while faults fly *)
+      let dying = Client.connect path in
+      let junk = Bytes.of_string "\xff\x01" in
+      (try ignore (Unix.write (Client.fd dying) junk 0 (Bytes.length junk))
+       with Unix.Unix_error _ -> ());
+      Client.close dying;
+      let c = Client.connect path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Client.send_events c words;
+      Alcotest.(check int) "every event applied exactly once under faults"
+        (Array.length words) (Client.flush c);
+      Alcotest.(check (array int)) "decisions unchanged by injected shard faults" reference
+        (query_codes c n_branches))
+
+let test_read_fault_drops_client_server_survives () =
+  let n_branches = 5 in
+  with_socket_server ~params:tiny ~n_branches ~shards:2 (fun path ->
+      Fun.protect
+        ~finally:(fun () ->
+          Fault.disable ();
+          Fault.reset ())
+      @@ fun () ->
+      (match Fault.configure_spec "seed=4,rate=1.0,max_raises=1,sites=serve.read" with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "fault spec: %s" msg);
+      let victim = Client.connect path in
+      Client.send_events victim [| pack ~branch:0 ~taken:true ~delta:1 |];
+      (match try `Reply (Client.flush victim) with Failure _ | Unix.Unix_error _ -> `Dropped with
+      | `Dropped -> ()
+      | `Reply _ ->
+        (* the injected read fault may have been spent on an earlier
+           consult of this connection; dropping is the expected path but
+           a surviving flush is not a failure of the server *)
+        ());
+      Client.close victim;
+      Fault.disable ();
+      Fault.reset ();
+      let c = Client.connect path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let words = synth_words ~seed:1 ~n_branches ~n:5_000 in
+      Client.send_events c words;
+      Alcotest.(check bool) "server still ingests after injected read fault" true
+        (Client.flush c >= Array.length words))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_protocol_roundtrip;
+    Alcotest.test_case "reply round-trip" `Quick test_reply_roundtrip;
+    Alcotest.test_case "protocol rejects malformed frames" `Quick test_protocol_rejects;
+    Alcotest.test_case "shard-count invariance" `Quick test_shard_invariance;
+    Alcotest.test_case "snapshot/restore byte-identity" `Quick test_snapshot_restore_identity;
+    Alcotest.test_case "snapshot codec validation" `Quick test_snapshot_shard_count_pinned;
+    Alcotest.test_case "bad client isolated" `Quick test_bad_client_isolated;
+    Alcotest.test_case "query error keeps connection" `Quick test_query_error_keeps_connection;
+    Alcotest.test_case "chaos: shard faults deterministic" `Quick
+      test_chaos_shard_faults_deterministic;
+    Alcotest.test_case "chaos: read fault drops client only" `Quick
+      test_read_fault_drops_client_server_survives;
+  ]

@@ -130,6 +130,18 @@ let test_record_names_stream_guards () =
     (Invalid_argument "Trace_store.record: length must be positive") (fun () ->
       ignore (TS.record pop { Stream.seed = 0; instr_per_branch = 2.0; length = 0 } : TS.t))
 
+(* A decreasing instruction count would pack as garbage delta bits and
+   corrupt the trace silently; both packers must reject it by name. *)
+let test_rejects_decreasing_instr () =
+  let cfg = { Stream.seed = 0; instr_per_branch = 2.0; length = 3 } in
+  Alcotest.check_raises "of_events rejects decreasing instr"
+    (Invalid_argument "Trace_store.of_events: instruction counts must not decrease") (fun () ->
+      ignore
+        (TS.of_events ~n_branches:2 ~config:cfg (fun push ->
+             push ~branch:0 ~taken:true ~instr:10;
+             push ~branch:1 ~taken:false ~instr:4)
+          : TS.t))
+
 (* Figure5 rendered through trace replay vs forced live regeneration:
    the sweep's output must be byte-identical either way. *)
 let test_figure5_replay_byte_identity () =
@@ -156,5 +168,6 @@ let suite =
     Alcotest.test_case "lru bound" `Quick test_lru_bound;
     Alcotest.test_case "capacity zero disables caching" `Quick test_capacity_zero_disables;
     Alcotest.test_case "record names stream guards" `Quick test_record_names_stream_guards;
+    Alcotest.test_case "rejects decreasing instr" `Quick test_rejects_decreasing_instr;
     Alcotest.test_case "figure5 byte-identity" `Slow test_figure5_replay_byte_identity;
   ]
