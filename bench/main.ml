@@ -188,6 +188,38 @@ let bench_parallel_all () =
   in
   List.length outs
 
+let bench_steal_latency () =
+  (* scheduler hand-off: post a thunk and spin until a sleeping worker
+     wakes and steals it — wakeup + steal latency, not task cost *)
+  let pool = Lazy.force bench_pool in
+  let flag = Atomic.make false in
+  Rs_util.Pool.post pool (fun () -> Atomic.set flag true);
+  while not (Atomic.get flag) do
+    Domain.cpu_relax ()
+  done;
+  1
+
+let bench_split_overhead () =
+  (* pure scheduling overhead: trivial elements through the lazy binary
+     splitter (every split forks a stealable right half) *)
+  let pool = Lazy.force bench_pool in
+  let out = Rs_util.Pool.map_range pool ~lo:0 ~hi:256 Fun.id in
+  out.(255)
+
+let bench_spec_commit () =
+  (* speculation round-trip: spawn an arm (fresh metrics delta + cache
+     transaction), wait for it, merge its buffered effects *)
+  let pool = Lazy.force bench_pool in
+  let s = Rs_util.Pool.spec_spawn pool (fun () -> 1) in
+  Rs_util.Pool.spec_commit pool s
+
+let bench_spec_cancel () =
+  (* the rollback path: spawn then immediately discard *)
+  let pool = Lazy.force bench_pool in
+  let s = Rs_util.Pool.spec_spawn pool (fun () -> 1) in
+  Rs_util.Pool.spec_cancel pool s;
+  0
+
 let kernels : (string * (unit -> int)) list =
   [
     ("table1+2/workload-build", bench_workload_build);
@@ -206,6 +238,10 @@ let kernels : (string * (unit -> int)) list =
     ("runner/pool-map", bench_pool_map);
     ("runner/cached-profile", bench_cached_profile);
     ("runner/parallel-all", bench_parallel_all);
+    ("scheduler/steal-latency", bench_steal_latency);
+    ("scheduler/split-overhead", bench_split_overhead);
+    ("scheduler/spec-commit", bench_spec_commit);
+    ("scheduler/spec-cancel", bench_spec_cancel);
   ]
 
 (* The sampling budget per kernel, overridable so CI smoke runs can keep
@@ -377,6 +413,19 @@ let run_json file =
   let regen_s, regen_out = time_figure5 ~replay:false ctx in
   let replay_s, replay_out = time_figure5 ~replay:true ctx in
   Rs_experiments.Cache.set_trace_replay true;
+  Printf.eprintf "bench: timing figure5 at jobs 1 vs jobs 8...\n%!";
+  let time_figure5_jobs jobs =
+    Rs_experiments.Cache.reset ();
+    let ctx = Rs_experiments.Context.create ~seed ~scale ~tau ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    let rendered = Rs_experiments.Figure5.render (Rs_experiments.Figure5.run ctx) in
+    (Unix.gettimeofday () -. t0, rendered)
+  in
+  let jobs1_s, jobs1_out = time_figure5_jobs 1 in
+  let jobs8_s, jobs8_out = time_figure5_jobs 8 in
+  (* scheduler counters, read after the jobs-8 sweep so a parallel run's
+     steal/split/speculation activity is on record *)
+  let pstats = Rs_util.Pool.stats () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -405,11 +454,27 @@ let run_json file =
   Buffer.add_string buf
     (Printf.sprintf
        "    { \"name\": \"figure5\", \"regen_wall_s\": %.3f, \"replay_wall_s\": %.3f, \
-        \"speedup\": %.3f, \"identical_output\": %b }\n"
+        \"speedup\": %.3f, \"identical_output\": %b },\n"
        regen_s replay_s
        (if replay_s > 0.0 then regen_s /. replay_s else 0.0)
        (String.equal regen_out replay_out));
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"figure5-jobs\", \"cores\": %d, \"jobs1_wall_s\": %.3f, \
+        \"jobs8_wall_s\": %.3f, \"speedup\": %.3f, \"identical_output\": %b }\n"
+       (Domain.recommended_domain_count ())
+       jobs1_s jobs8_s
+       (if jobs8_s > 0.0 then jobs1_s /. jobs8_s else 0.0)
+       (String.equal jobs1_out jobs8_out));
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"pool\": { \"tasks\": %d, \"steals\": %d, \"splits\": %d, \"spec_started\": %d, \
+        \"spec_committed\": %d, \"spec_cancelled\": %d, \"worker_failures\": %d, \
+        \"suppressed_failures\": %d }\n"
+       pstats.tasks pstats.steals pstats.splits pstats.spec_started pstats.spec_committed
+       pstats.spec_cancelled pstats.worker_failures pstats.suppressed_failures);
+  Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -170,11 +170,54 @@ if command -v jq >/dev/null 2>&1; then
          jq --argjson names "$ZERO_ALLOC_KERNELS" \
            '[.kernels[] | select(.name as $n | $names | index($n) != null)]' "$BENCH_JSON" >&2
          exit 1; }
-  echo "bench json ok: $(jq -c '.context' "$BENCH_JSON")"
+  # Scheduler counters: a jobs-8 figure5 sweep ran inside the harness, so
+  # the work-stealing pool must have stolen sub-ranges, and the
+  # speculation counters must be reported (the spec-cancel kernel
+  # guarantees cancellations).  The jobs-8 output must be byte-identical
+  # to jobs-1; the >= 2x wall-clock gate only applies with enough cores
+  # to parallelize on.
+  jq -e '.pool.steals > 0' "$BENCH_JSON" >/dev/null \
+    || { echo "scheduler gate failed: pool.steals == 0 in bench json" >&2
+         jq '.pool' "$BENCH_JSON" >&2; exit 1; }
+  jq -e '.pool | has("spec_cancelled") and has("spec_committed") and has("splits")' \
+    "$BENCH_JSON" >/dev/null
+  jq -e '[.experiments[] | select(.name == "figure5-jobs")][0]
+         | .identical_output == true' "$BENCH_JSON" >/dev/null \
+    || { echo "figure5 output differs between jobs 1 and jobs 8" >&2; exit 1; }
+  jq -e '[.experiments[] | select(.name == "figure5-jobs")][0]
+         | (.cores < 4) or (.speedup >= 2)' "$BENCH_JSON" >/dev/null \
+    || { echo "figure5 jobs-8 speedup gate failed (< 2x with >= 4 cores):" >&2
+         jq '[.experiments[] | select(.name == "figure5-jobs")][0]' "$BENCH_JSON" >&2
+         exit 1; }
+  echo "bench json ok: $(jq -c '.context' "$BENCH_JSON") pool=$(jq -c '.pool' "$BENCH_JSON")"
 else
   echo "bench json written ($BENCH_JSON); jq not installed, skipping assertions"
 fi
 rm -f "$BENCH_JSON"
+
+# Scheduler stage: the work-stealing pool may only change wall-clock,
+# never output.  `rspec all` must be byte-identical between --jobs 1 and
+# --jobs 8 — with speculative sub-sweep execution both on and off — at
+# two seeds.  The jobs-8 runs print their scheduler counters so the CI
+# log records the steal/split/speculation activity behind the identity.
+echo "== scheduler (rspec all: jobs 1 vs 8, speculation on/off, two seeds) =="
+SCHED_DIR=$(mktemp -d /tmp/rs_sched.XXXXXX)
+for seed in 3 11; do
+  echo "-- seed=$seed --"
+  timeout 900 "$RSPEC" all --scale 0.02 --tau 10 --seed "$seed" --jobs 1 \
+    > "$SCHED_DIR/j1.txt"
+  timeout 900 "$RSPEC" all --scale 0.02 --tau 10 --seed "$seed" --jobs 8 --pool-stats \
+    > "$SCHED_DIR/j8.txt" 2> "$SCHED_DIR/j8.err"
+  cmp "$SCHED_DIR/j1.txt" "$SCHED_DIR/j8.txt" \
+    || { echo "rspec all differs between --jobs 1 and --jobs 8 (seed=$seed)" >&2; exit 1; }
+  grep '^pool:' "$SCHED_DIR/j8.err" || true
+  RS_SPEC=0 timeout 900 "$RSPEC" all --scale 0.02 --tau 10 --seed "$seed" --jobs 8 \
+    > "$SCHED_DIR/j8_nospec.txt"
+  cmp "$SCHED_DIR/j1.txt" "$SCHED_DIR/j8_nospec.txt" \
+    || { echo "rspec all differs at --jobs 8 with speculation off (seed=$seed)" >&2; exit 1; }
+  echo "scheduler identity ok at seed=$seed"
+done
+rm -rf "$SCHED_DIR"
 
 # Online-service stage: a real `rspec serve` process on a temp Unix
 # socket, driven by `rspec drive` with a figure2-scale recorded stream.

@@ -17,21 +17,18 @@ type t = { sweeps : sweep list }
 
 let benchmarks = [ "crafty"; "gcc"; "gzip"; "mcf" ]
 
-let evaluate ctx label params =
+let aggregate label (cells : Rs_sim.Accounting.row array) =
   let correct = ref 0.0 and incorrect = ref 0.0 in
   let selections = ref 0 and evictions = ref 0 and capped = ref 0 in
-  List.iter
-    (fun name ->
-      let bm = BM.find name in
-      let r = Cache.run ctx bm ~input:Ref (Context.params_of ctx params) in
-      let row = Rs_sim.Accounting.of_result r in
+  Array.iter
+    (fun (row : Rs_sim.Accounting.row) ->
       correct := !correct +. row.correct_rate;
       incorrect := !incorrect +. row.incorrect_rate;
       selections := !selections + row.total_selections;
       evictions := !evictions + row.total_evictions;
       capped := !capped + row.capped)
-    benchmarks;
-  let n = float_of_int (List.length benchmarks) in
+    cells;
+  let n = float_of_int (Array.length cells) in
   {
     label;
     correct = !correct /. n;
@@ -77,12 +74,26 @@ let sweep_specs () =
 
 let run ctx =
   (* Every (configuration, benchmark) simulation is independent: flatten
-     the sweeps into one task list, fan it out over the pool, and slice
-     the ordered results back into their sweeps. *)
+     the sweeps all the way down to (configuration, benchmark) cells —
+     config-major, so [--jobs 1] runs the cache operations in exactly
+     the order the old nested loops did — fan the cells out over the
+     pool as stealable tasks, then aggregate per configuration and
+     slice the ordered results back into their sweeps. *)
   let specs = sweep_specs () in
   let flat = Array.of_list (List.concat_map snd specs) in
+  let bms = Array.of_list (List.map BM.find benchmarks) in
+  let nb = Array.length bms in
+  let cells =
+    Rs_util.Pool.map_range (Context.pool ctx) ~lo:0
+      ~hi:(Array.length flat * nb)
+      (fun k ->
+        let _, params = flat.(k / nb) in
+        let bm = bms.(k mod nb) in
+        let r = Cache.run ctx bm ~input:Ref (Context.params_of ctx params) in
+        Rs_sim.Accounting.of_result r)
+  in
   let rows =
-    Rs_util.Pool.map_ordered (Context.pool ctx) (fun (l, p) -> evaluate ctx l p) flat
+    Array.mapi (fun i (label, _) -> aggregate label (Array.sub cells (i * nb) nb)) flat
   in
   let index = ref 0 in
   let sweeps =

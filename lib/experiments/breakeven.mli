@@ -7,12 +7,25 @@
     {e two orders of magnitude} larger than the per-speculation benefit
     stay profitable.  This experiment reports, per benchmark, the
     break-even penalty/benefit ratio the reactive baseline sustains, next
-    to the same ratio for the no-eviction (open-loop) policy. *)
+    to the same ratio for the no-eviction (open-loop) policy.
+
+    It also reports the complementary slack: the {e eviction-threshold
+    headroom}, i.e. the largest power-of-two scaling of the eviction
+    trigger that still keeps misspeculation under 0.1% of dynamic
+    branches.  The crossing point is found by bisection over engine
+    runs, and each bisection level speculatively pre-executes both
+    candidate next probes as cancellable pool tasks
+    ({!Rs_util.Pool.spec_spawn}) — the winner commits its cached run,
+    the loser rolls back, and [--jobs 1] output stays byte-identical
+    because deferred speculation commits inline. *)
 
 type row = {
   benchmark : string;
   reactive_ratio : float;  (** correct / incorrect under the baseline. *)
   open_loop_ratio : float;
+  headroom : int option;
+      (** log2 of the eviction-threshold headroom; [None] when even the
+          paper threshold breaks the misspeculation bound. *)
 }
 
 type t = { rows : row list }

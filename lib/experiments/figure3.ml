@@ -14,17 +14,28 @@ let run ?(benchmark = "gap") ?(count = 5) ctx =
      biased) but are not biased over their whole run.  The profile comes
      from the shared cache (one collection serves figures 2, 3 and 5). *)
   let profile = Cache.profile ~windows:[| 20_000 |] ctx bm ~input:Ref in
-  let candidates = ref [] in
-  for b = 0 to Profile.n_branches profile - 1 do
-    let early = Profile.counts_in_window profile b ~window:20_000 in
-    let whole = Profile.counts profile b in
-    if
-      early.execs >= 20_000
-      && Static.bias early >= 0.995
-      && Static.bias whole < 0.99
-    then candidates := (b, whole.execs) :: !candidates
-  done;
-  let candidates = List.sort (fun (_, a) (_, b) -> compare b a) !candidates in
+  (* The scan is read-only over the collected profile, so it splits into
+     stealable chunks; folding the verdict array front-to-back rebuilds
+     the exact candidate list the old sequential loop accumulated. *)
+  let verdicts =
+    Rs_util.Pool.map_range (Context.pool ctx) ~cutoff:256 ~lo:0
+      ~hi:(Profile.n_branches profile)
+      (fun b ->
+        let early = Profile.counts_in_window profile b ~window:20_000 in
+        let whole = Profile.counts profile b in
+        if
+          early.execs >= 20_000
+          && Static.bias early >= 0.995
+          && Static.bias whole < 0.99
+        then Some (b, whole.execs)
+        else None)
+  in
+  let candidates =
+    Array.fold_left
+      (fun acc v -> match v with Some c -> c :: acc | None -> acc)
+      [] verdicts
+  in
+  let candidates = List.sort (fun (_, a) (_, b) -> compare b a) candidates in
   let chosen = List.filteri (fun i _ -> i < count) candidates in
   (* Pass 2: block-bias series for the chosen branches. *)
   let tracks_data =

@@ -24,14 +24,17 @@ let run_benchmark ctx bm =
       incorrect = Pareto.incorrect_rate profile st;
     }
   in
+  (* Nested stealable sub-sweep: each benchmark's variant runs split
+     across the pool, so one slow benchmark no longer serializes its
+     seven simulations behind a single task. *)
+  let variants = Array.of_list V.all in
   let by_variant =
-    List.map
-      (fun (v : V.t) ->
+    Rs_util.Pool.map_range (Context.pool ctx) ~lo:0 ~hi:(Array.length variants) (fun j ->
+        let v = variants.(j) in
         let r = Cache.run ctx bm ~input:Ref (Context.params_of ctx v.params) in
         (v.key, { correct = Engine.correct_rate r; incorrect = Engine.incorrect_rate r }))
-      V.all
   in
-  { benchmark = bm.name; self_training; by_variant }
+  { benchmark = bm.name; self_training; by_variant = Array.to_list by_variant }
 
 let run ctx =
   let rows =

@@ -508,12 +508,23 @@ let breakeven =
         [
           {
             sheet = "rows";
-            columns = [ str "benchmark"; flt "reactive_ratio"; flt "open_loop_ratio" ];
+            columns =
+              [
+                str "benchmark";
+                flt "reactive_ratio";
+                flt "open_loop_ratio";
+                int "evict_headroom";
+              ];
             rows =
               (fun (t : Breakeven.t) ->
                 List.map
                   (fun (r : Breakeven.row) ->
-                    [ S r.benchmark; F r.reactive_ratio; F r.open_loop_ratio ])
+                    [
+                      S r.benchmark;
+                      F r.reactive_ratio;
+                      F r.open_loop_ratio;
+                      (match r.headroom with Some e -> I (1 lsl e) | None -> Null);
+                    ])
                   t.rows);
           };
         ];

@@ -1,0 +1,70 @@
+(* Growable ring-buffer double-ended queue guarded by a private mutex.
+
+   The owner pushes and pops at the bottom (LIFO — it dives back into
+   the most recently split sub-range while its data is still warm);
+   thieves take from the top (FIFO — a steal grabs the oldest, i.e.
+   biggest, pending sub-range, minimising the number of steals needed
+   to balance a sweep).  Operations are coarse-grained — one lock per
+   push/pop/steal — which beats a lock-free Chase-Lev array in
+   simplicity without measurable cost at this granularity: the tasks
+   queued here are sub-sweeps measured in microseconds to seconds, not
+   nanosecond work items. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable cells : 'a option array;
+  mutable head : int; (* index of the top (oldest) element *)
+  mutable size : int;
+}
+
+let create () = { lock = Mutex.create (); cells = Array.make 8 None; head = 0; size = 0 }
+
+let grow t =
+  let cap = Array.length t.cells in
+  let cells = Array.make (cap * 2) None in
+  for i = 0 to t.size - 1 do
+    cells.(i) <- t.cells.((t.head + i) mod cap)
+  done;
+  t.cells <- cells;
+  t.head <- 0
+
+let push t x =
+  Mutex.lock t.lock;
+  if t.size = Array.length t.cells then grow t;
+  t.cells.((t.head + t.size) mod Array.length t.cells) <- Some x;
+  t.size <- t.size + 1;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  let r =
+    if t.size = 0 then None
+    else begin
+      t.size <- t.size - 1;
+      let i = (t.head + t.size) mod Array.length t.cells in
+      let x = t.cells.(i) in
+      t.cells.(i) <- None;
+      x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let steal t =
+  Mutex.lock t.lock;
+  let r =
+    if t.size = 0 then None
+    else begin
+      let x = t.cells.(t.head) in
+      t.cells.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.cells;
+      t.size <- t.size - 1;
+      x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+(* Unsynchronised read: callers use it only as an emptiness heuristic
+   before paying for a locked [steal]. *)
+let length t = t.size

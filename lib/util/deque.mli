@@ -1,0 +1,24 @@
+(** Work-stealing double-ended queue (mutex-guarded ring buffer).
+
+    One end per role: the owning domain {!push}es and {!pop}s at the
+    bottom (LIFO, cache-warm descent into the latest split), thieves
+    {!steal} from the top (FIFO, oldest — hence biggest — sub-range
+    first).  All operations are domain-safe; the queue grows without
+    bound. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: take the most recently pushed element (LIFO). *)
+
+val steal : 'a t -> 'a option
+(** Thief: take the oldest element (FIFO). *)
+
+val length : 'a t -> int
+(** Racy size snapshot — an emptiness heuristic, not a synchronised
+    count. *)

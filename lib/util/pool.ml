@@ -1,84 +1,239 @@
-(* A hand-rolled fixed-size domain pool: one shared FIFO of thunks, one
-   mutex, one condition.  The condition is broadcast both when work
-   arrives and when a task completes, so waiters double as helpers: a
-   caller (or a nested caller) blocked on its own results pops and runs
-   whatever task is queued next instead of sleeping.  That "help while
-   you wait" rule is what makes nested [map_ordered] calls on one pool
-   deadlock-free — some domain is always executing a task, and every
-   task eventually signals its map's completion counter.
+(* Work-stealing domain pool.
+
+   Topology: one deque ({!Deque}) per slot — slot 0 belongs to the
+   external caller currently mapping, slots 1..jobs-1 to the worker
+   domains — plus a shared mutex-guarded inbox for [post]ed thunks and
+   for forks from domains that hold no slot.  An executor looks for work
+   in order: own deque bottom (LIFO, cache-warm), inbox, then a steal
+   scan over everyone else's deque top (FIFO, so a thief grabs the
+   oldest — i.e. biggest — pending sub-range).  [map_range] splits a
+   sweep lazily: fork the right half onto the local deque, descend into
+   the left, stop splitting at [cutoff] elements; an idle domain steals
+   the biggest pending half and splits it further, so a sweep balances
+   itself without any central division of labour.
+
+   "Help while you wait" is preserved from the original pool: a caller
+   (or nested caller) blocked on its own results runs whatever task it
+   can find instead of sleeping, so some domain is always executing a
+   task and nested maps on one pool cannot deadlock.  Sleeping is a
+   two-phase check: a would-be sleeper registers in [sleepers] and
+   re-checks every source under the pool mutex before waiting, and
+   producers broadcast whenever [sleepers] is non-zero — the atomic
+   ordering between the two makes lost wakeups impossible.
+
+   Determinism contract: element results are joined by index, so a map
+   is equivalent to [Array.map] for pure element functions regardless of
+   [jobs] — and [jobs = 1] runs strictly left-to-right in the calling
+   domain with no scheduling machinery at all.
+
+   Speculation: [spec_spawn] enqueues a cancellable task whose side
+   effects are buffered — metrics into a {!Rs_obs.Metrics.delta}, other
+   layers (the experiment cache) via pluggable {!isolator}s registered
+   in [spec_providers].  The executor attaches the task's isolation
+   context around every execution (and detaches it around foreign tasks
+   picked up while helping), so a speculative arm may itself fan out
+   through [map_range] and every piece of it records into the same
+   buffer.  [spec_commit] merges the buffers; [spec_cancel] drops them.
+   On a [jobs = 1] pool (or with speculation disabled) spawn defers and
+   commit runs the winning thunk inline — byte-identical to never having
+   speculated, which is what keeps [--jobs N] output equal to
+   [--jobs 1].
 
    Lifecycle: a pool is live from [create] until [close].  [close] while
-   maps are in flight retires the pool instead of pulling workers out
-   from under their callers — the epilogue of the last in-flight map
-   performs the actual shutdown.  A new map on a closed pool raises
-   [Closed] loudly instead of silently degrading to caller-only
-   execution. *)
+   maps are in flight retires the pool and the last map's epilogue
+   performs the shutdown.  After the workers are joined, the closing
+   caller drains any tasks still queued (FIFO from the inbox first, then
+   leftover deque entries), so fire-and-forget [post]s are never
+   silently dropped — the fix matters on [jobs = 1] pools, which have no
+   workers to drain the inbox. *)
+
+module Metrics = Rs_obs.Metrics
+
+type isolator = {
+  iso_attach : unit -> unit;
+  iso_detach : unit -> unit;
+  iso_commit : unit -> unit;
+  iso_abort : unit -> unit;
+}
+
+type iso = { i_delta : Metrics.delta; i_provs : isolator array }
+type task = { t_run : unit -> unit; t_iso : iso option }
 
 type t = {
+  id : int;
   jobs : int;
-  mutex : Mutex.t;
+  mutex : Mutex.t; (* guards inbox, live, active, retired *)
   wake : Condition.t;
-  work : (unit -> unit) Queue.t;
+  inbox : task Queue.t;
+  deques : task Deque.t array; (* length jobs; slot 0 = mapping caller *)
+  slot0 : int Atomic.t; (* domain id holding slot 0, or -1 *)
+  sleepers : int Atomic.t;
   mutable live : bool;
-  mutable active : int; (* in-flight map_ordered / run_all calls *)
+  mutable active : int; (* in-flight map_range / map_ordered / run_all *)
   mutable retired : bool; (* close requested while active > 0 *)
   mutable workers : unit Domain.t list;
 }
 
 exception Closed
 
-let m_tasks = Rs_obs.Metrics.counter "pool.tasks"
-let m_worker_failures = Rs_obs.Metrics.counter "pool.worker_failures"
-let m_suppressed_failures = Rs_obs.Metrics.counter "pool.suppressed_failures"
-let g_jobs = Rs_obs.Metrics.gauge "pool.jobs"
-
-(* Queued thunks come from two sources: [map_ordered]'s steps, which
-   trap their own element errors, and [post]ed fire-and-forget tasks,
-   which may raise anything.  Every executor — worker domains and
-   callers helping while they wait — runs tasks through this guard, so
-   one raising thunk can neither kill a worker domain (silently
-   shrinking the pool forever) nor surface inside an unrelated caller's
-   [map_ordered]. *)
-let run_task task =
-  try task ()
-  with _ -> Rs_obs.Metrics.incr m_worker_failures
+let m_tasks = Metrics.counter "pool.tasks"
+let m_steals = Metrics.counter "pool.steals"
+let m_splits = Metrics.counter "pool.splits"
+let m_spec_started = Metrics.counter "pool.spec_started"
+let m_spec_committed = Metrics.counter "pool.spec_committed"
+let m_spec_cancelled = Metrics.counter "pool.spec_cancelled"
+let m_worker_failures = Metrics.counter "pool.worker_failures"
+let m_suppressed_failures = Metrics.counter "pool.suppressed_failures"
+let g_jobs = Metrics.gauge "pool.jobs"
 
 (* Injection point for rs_fault, which sits above this library in the
    dependency graph (it needs Prng) and so cannot be called directly. *)
 let fault_hook : (site:string -> key:string -> unit) ref = ref (fun ~site:_ ~key:_ -> ())
 
-let worker_loop t =
-  let rec loop () =
-    Mutex.lock t.mutex;
-    let task =
-      let rec take () =
-        match Queue.take_opt t.work with
-        | Some task -> Some task
-        | None ->
-          if t.live then begin
-            Condition.wait t.wake t.mutex;
-            take ()
-          end
-          else None
-      in
-      take ()
-    in
-    Mutex.unlock t.mutex;
-    match task with
-    | Some task ->
-      run_task task;
-      loop ()
-    | None -> ()
-  in
-  loop ()
+(* Isolation providers for speculative tasks, registered by layers above
+   this one (the experiment cache) exactly like [fault_hook].  Each
+   [spec_spawn] asks every provider for a fresh isolator. *)
+let spec_providers : (unit -> isolator) list ref = ref []
 
-let worker_main t idx =
+let pool_ids = Atomic.make 0
+
+(* Which slot (deque index) this domain owns, per pool id.  Workers
+   register their slot at startup; an external caller claims slot 0 for
+   the duration of its outermost map. *)
+let slots_key : (int * int) list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let my_slot t = List.assoc_opt t.id !(Domain.DLS.get slots_key)
+
+(* The isolation context installed on this domain by the executor — the
+   task being run right now, inherited by anything it forks. *)
+let iso_key : iso option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let attach = function
+  | None -> ()
+  | Some iso ->
+    Metrics.capture_push iso.i_delta;
+    Array.iter (fun p -> p.iso_attach ()) iso.i_provs
+
+let detach = function
+  | None -> ()
+  | Some iso ->
+    Array.iter (fun p -> p.iso_detach ()) iso.i_provs;
+    Metrics.capture_pop ()
+
+(* Every executor — worker domains, helping callers, the close-time
+   drain — runs tasks through this guard: it swaps the task's isolation
+   context in (and the current one out, so helping inside a speculative
+   arm cannot leak the arm's capture into an unrelated task), and traps
+   any escaping exception so one raising [post]ed thunk can neither kill
+   a worker domain nor surface inside an unrelated caller's map.  Map
+   tasks trap their own element errors; speculative tasks store theirs
+   in the spec record — the guard counter only ever fires for posts. *)
+let exec _t task =
+  let iso_ref = Domain.DLS.get iso_key in
+  let prev = !iso_ref in
+  let swap = prev != task.t_iso in
+  if swap then begin
+    detach prev;
+    iso_ref := task.t_iso;
+    attach task.t_iso
+  end;
+  (try task.t_run () with _ -> Metrics.incr m_worker_failures);
+  if swap then begin
+    detach task.t_iso;
+    iso_ref := prev;
+    attach prev
+  end
+
+let wake_if_sleepers t =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+  end
+
+let push_task t task =
+  (match my_slot t with
+  | Some s -> Deque.push t.deques.(s) task
+  | None ->
+    Mutex.lock t.mutex;
+    Queue.add task t.inbox;
+    Mutex.unlock t.mutex);
+  wake_if_sleepers t
+
+let steal_scan t ~slot =
+  let n = Array.length t.deques in
+  let start = if slot >= 0 then (slot + 1) mod n else 0 in
+  let rec go k =
+    if k >= n then None
+    else
+      let i = (start + k) mod n in
+      if i = slot then go (k + 1)
+      else
+        match Deque.steal t.deques.(i) with
+        | Some _ as r ->
+          Metrics.incr m_steals;
+          r
+        | None -> go (k + 1)
+  in
+  go 0
+
+let try_find t ~slot =
+  match if slot >= 0 then Deque.pop t.deques.(slot) else None with
+  | Some _ as r -> r
+  | None -> (
+    Mutex.lock t.mutex;
+    let inb = Queue.take_opt t.inbox in
+    Mutex.unlock t.mutex;
+    match inb with Some _ -> inb | None -> steal_scan t ~slot)
+
+(* Find a task, or sleep until one appears; returns [None] only once
+   [stop ()] holds.  The sleeper registers before its final re-check and
+   producers test [sleepers] after publishing, so one of the two always
+   observes the other — no lost wakeups. *)
+let acquire t ~slot ~stop =
+  match try_find t ~slot with
+  | Some _ as r -> r
+  | None ->
+    Mutex.lock t.mutex;
+    Atomic.incr t.sleepers;
+    let rec wait_loop () =
+      if stop () then None
+      else
+        (* own deque needs no re-check: only its owner pushes to it *)
+        match
+          match Queue.take_opt t.inbox with
+          | Some _ as r -> r
+          | None -> steal_scan t ~slot
+        with
+        | Some _ as r -> r
+        | None ->
+          Condition.wait t.wake t.mutex;
+          wait_loop ()
+    in
+    let r = wait_loop () in
+    Atomic.decr t.sleepers;
+    Mutex.unlock t.mutex;
+    r
+
+let worker_main t i =
+  let slot = i + 1 in
+  let slots = Domain.DLS.get slots_key in
+  slots := (t.id, slot) :: !slots;
   (* An injected startup failure kills just this worker: the pool
      degrades to fewer helpers, and the caller-helps rule keeps every
      map completing. *)
-  match !fault_hook ~site:"pool.worker_start" ~key:(string_of_int idx) with
-  | () -> worker_loop t
-  | exception _ -> Rs_obs.Metrics.incr m_worker_failures
+  match !fault_hook ~site:"pool.worker_start" ~key:(string_of_int i) with
+  | () ->
+    let rec loop () =
+      (* [stop] is only consulted once nothing is left to run, so a
+         retiring pool drains its queues before the workers exit *)
+      match acquire t ~slot ~stop:(fun () -> not t.live) with
+      | Some task ->
+        exec t task;
+        loop ()
+      | None -> ()
+    in
+    loop ()
+  | exception _ -> Metrics.incr m_worker_failures
 
 let create ?jobs () =
   let jobs =
@@ -86,10 +241,14 @@ let create ?jobs () =
   in
   let t =
     {
+      id = Atomic.fetch_and_add pool_ids 1;
       jobs;
       mutex = Mutex.create ();
       wake = Condition.create ();
-      work = Queue.create ();
+      inbox = Queue.create ();
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      slot0 = Atomic.make (-1);
+      sleepers = Atomic.make 0;
       live = true;
       active = 0;
       retired = false;
@@ -97,7 +256,7 @@ let create ?jobs () =
     }
   in
   t.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_main t i));
-  Rs_obs.Metrics.set g_jobs jobs;
+  Metrics.set g_jobs jobs;
   t
 
 let jobs t = t.jobs
@@ -105,11 +264,26 @@ let jobs t = t.jobs
 let join_workers t =
   (* Never called with [t.mutex] held (workers need it to observe the
      shutdown), and never self-joining: a worker performing a deferred
-     shutdown skips its own handle and exits on its own once the queue
-     drains. *)
+     shutdown skips its own handle and exits on its own once the queues
+     drain. *)
   let self = Domain.self () in
   List.iter (fun d -> if Domain.get_id d <> self then Domain.join d) t.workers;
   t.workers <- []
+
+(* Run whatever is still queued after shutdown, in the closing caller:
+   posted thunks first (FIFO, submission order), then any leftover deque
+   entries.  This is what guarantees [post] on a [jobs = 1] pool — which
+   has no worker to drain the inbox — still runs every thunk by [close]
+   at the latest. *)
+let drain_after_shutdown t =
+  let rec go () =
+    match try_find t ~slot:(-1) with
+    | Some task ->
+      exec t task;
+      go ()
+    | None -> ()
+  in
+  go ()
 
 let close t =
   Mutex.lock t.mutex;
@@ -123,7 +297,8 @@ let close t =
     t.live <- false;
     Condition.broadcast t.wake;
     Mutex.unlock t.mutex;
-    join_workers t
+    join_workers t;
+    drain_after_shutdown t
   end
 
 let enter_map t =
@@ -145,68 +320,133 @@ let exit_map t =
     Condition.broadcast t.wake
   end;
   Mutex.unlock t.mutex;
-  if shutdown_now then join_workers t
-
-let map_ordered (type b) t f arr =
-  enter_map t;
-  Fun.protect ~finally:(fun () -> exit_map t) @@ fun () ->
-  let n = Array.length arr in
-  if t.jobs = 1 || n <= 1 then Array.map f arr
-  else begin
-    let results : b option array = Array.make n None in
-    let errors = Array.make n None in
-    let pending = ref n in
-    let step i =
-      Rs_obs.Metrics.incr m_tasks;
-      let traced = Rs_obs.Trace.enabled () in
-      let dom = (Domain.self () :> int) in
-      if traced then
-        Rs_obs.Trace.emit "task" [ S ("event", "start"); I ("domain", dom); I ("index", i) ];
-      (try
-         !fault_hook ~site:"pool.task" ~key:(string_of_int i);
-         results.(i) <- Some (f arr.(i))
-       with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-      if traced then
-        Rs_obs.Trace.emit "task" [ S ("event", "stop"); I ("domain", dom); I ("index", i) ];
-      Mutex.lock t.mutex;
-      decr pending;
-      Condition.broadcast t.wake;
-      Mutex.unlock t.mutex
-    in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (fun () -> step i) t.work
-    done;
-    Condition.broadcast t.wake;
-    (* The caller is the pool's jobs-th worker; while its elements are
-       outstanding it drains the queue (tasks of any in-flight map). *)
-    while !pending > 0 do
-      match Queue.take_opt t.work with
-      | Some task ->
-        Mutex.unlock t.mutex;
-        run_task task;
-        Mutex.lock t.mutex
-      | None -> Condition.wait t.wake t.mutex
-    done;
-    Mutex.unlock t.mutex;
-    (* Re-raise the lowest-indexed failure with its original backtrace;
-       further failures cannot also propagate, so they are surfaced
-       through the [pool.suppressed_failures] counter instead of being
-       silently discarded. *)
-    let first = ref None in
-    let suppressed = ref 0 in
-    Array.iter
-      (function
-        | Some eb -> if Option.is_none !first then first := Some eb else incr suppressed
-        | None -> ())
-      errors;
-    (match !first with
-    | Some (e, bt) ->
-      if !suppressed > 0 then Rs_obs.Metrics.add m_suppressed_failures !suppressed;
-      Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map (function Some r -> r | None -> assert false) results
+  if shutdown_now then begin
+    join_workers t;
+    drain_after_shutdown t
   end
+
+(* Slot 0 is reserved for whichever external domain is currently inside
+   a map; nested maps reuse the claim, and a second concurrent external
+   caller simply runs slotless (its forks go through the inbox). *)
+let claim_slot t =
+  if t.jobs <= 1 then false
+  else
+    match my_slot t with
+    | Some _ -> false
+    | None ->
+      if Atomic.compare_and_set t.slot0 (-1) (Domain.self () :> int) then begin
+        let slots = Domain.DLS.get slots_key in
+        slots := (t.id, 0) :: !slots;
+        true
+      end
+      else false
+
+let release_slot t =
+  let slots = Domain.DLS.get slots_key in
+  slots := List.filter (fun (id, _) -> id <> t.id) !slots;
+  Atomic.set t.slot0 (-1)
+
+let map_range (type b) t ?(cutoff = 1) ~lo ~hi (f : int -> b) : b array =
+  if cutoff < 1 then invalid_arg "Pool.map_range: cutoff must be positive";
+  let n = hi - lo in
+  if n <= 0 then [||]
+  else begin
+    enter_map t;
+    Fun.protect ~finally:(fun () -> exit_map t) @@ fun () ->
+    if t.jobs = 1 || n = 1 then begin
+      (* strictly left-to-right in the calling domain *)
+      let first = f lo in
+      let out = Array.make n first in
+      for i = 1 to n - 1 do
+        out.(i) <- f (lo + i)
+      done;
+      out
+    end
+    else begin
+      let results : b option array = Array.make n None in
+      let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+      let remaining = Atomic.make n in
+      let claimed = claim_slot t in
+      Fun.protect ~finally:(fun () -> if claimed then release_slot t) @@ fun () ->
+      let parent_iso = !(Domain.DLS.get iso_key) in
+      let leaf l h =
+        for i = l to h - 1 do
+          Metrics.incr m_tasks;
+          try results.(i - lo) <- Some (f i)
+          with e -> errors.(i - lo) <- Some (e, Printexc.get_raw_backtrace ())
+        done;
+        ignore (Atomic.fetch_and_add remaining (l - h) : int);
+        wake_if_sleepers t
+      in
+      (* Lazy binary splitting: fork the right half onto the local deque
+         (where a thief can find it), descend into the left.  Sub-tasks
+         carry the forking context's isolation, so a speculative arm may
+         fan out and still record into its own buffer. *)
+      let rec go l h =
+        if h - l <= cutoff then leaf l h
+        else begin
+          let mid = l + ((h - l) / 2) in
+          Metrics.incr m_splits;
+          push_task t { t_run = (fun () -> go mid h); t_iso = parent_iso };
+          go l mid
+        end
+      in
+      go lo hi;
+      (* the caller is the pool's jobs-th executor: help until every
+         element of this map has settled *)
+      let slot = match my_slot t with Some s -> s | None -> -1 in
+      let stop () = Atomic.get remaining = 0 in
+      let rec help () =
+        if not (stop ()) then begin
+          (match acquire t ~slot ~stop with Some task -> exec t task | None -> ());
+          help ()
+        end
+      in
+      help ();
+      (* Re-raise the lowest-indexed failure with its original backtrace;
+         further failures cannot also propagate, so they are surfaced
+         through the [pool.suppressed_failures] counter instead of being
+         silently discarded. *)
+      let first = ref None in
+      let suppressed = ref 0 in
+      Array.iter
+        (function
+          | Some eb -> if Option.is_none !first then first := Some eb else incr suppressed
+          | None -> ())
+        errors;
+      (match !first with
+      | Some (e, bt) ->
+        if !suppressed > 0 then Metrics.add m_suppressed_failures !suppressed;
+        Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.map (function Some r -> r | None -> assert false) results
+    end
+  end
+
+let parallel_for t ?cutoff ~lo ~hi f =
+  ignore (map_range t ?cutoff ~lo ~hi f : unit array)
+
+let map_ordered t f arr =
+  let n = Array.length arr in
+  if t.jobs = 1 || n <= 1 then begin
+    enter_map t;
+    Fun.protect ~finally:(fun () -> exit_map t) @@ fun () -> Array.map f arr
+  end
+  else
+    map_range t ~cutoff:1 ~lo:0 ~hi:n (fun i ->
+        let traced = Rs_obs.Trace.enabled () in
+        let dom = (Domain.self () :> int) in
+        if traced then
+          Rs_obs.Trace.emit "task" [ S ("event", "start"); I ("domain", dom); I ("index", i) ];
+        let r =
+          try
+            !fault_hook ~site:"pool.task" ~key:(string_of_int i);
+            Ok (f arr.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        if traced then
+          Rs_obs.Trace.emit "task" [ S ("event", "stop"); I ("domain", dom); I ("index", i) ];
+        match r with Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
 
 let run_all t thunks =
   Array.to_list (map_ordered t (fun thunk -> thunk ()) (Array.of_list thunks))
@@ -217,9 +457,148 @@ let post t thunk =
     Mutex.unlock t.mutex;
     raise Closed
   end;
-  Queue.add thunk t.work;
+  Queue.add { t_run = thunk; t_iso = None } t.inbox;
   Condition.broadcast t.wake;
   Mutex.unlock t.mutex
+
+(* --- speculative tasks ------------------------------------------------ *)
+
+let speculation = Atomic.make true
+let set_speculation b = Atomic.set speculation b
+let speculation_enabled () = Atomic.get speculation
+
+(* State machine (int-coded for one-word CAS):
+     0 pending          spawned, not yet started
+     1 running          an executor won the start CAS
+     2 done             result stored, effects buffered
+     3 cancel-requested cancelled while running; runner aborts at the end
+     4 cancelled        effects discarded
+     5 claimed          committer ran it inline (pending at commit time) *)
+type 'a spec = {
+  sp_state : int Atomic.t;
+  mutable sp_result : ('a, exn * Printexc.raw_backtrace) result option;
+  sp_thunk : unit -> 'a;
+  sp_iso : iso;
+  sp_pool : t;
+}
+
+let iso_abort_all iso = Array.iter (fun p -> p.iso_abort ()) iso.i_provs
+
+let run_spec s =
+  (match s.sp_thunk () with
+  | v -> s.sp_result <- Some (Ok v)
+  | exception e -> s.sp_result <- Some (Error (e, Printexc.get_raw_backtrace ())));
+  if not (Atomic.compare_and_set s.sp_state 1 2) then begin
+    (* a cancel arrived while we ran: roll back the buffered effects *)
+    iso_abort_all s.sp_iso;
+    Atomic.set s.sp_state 4
+  end;
+  wake_if_sleepers s.sp_pool
+
+let spec_spawn t thunk =
+  let iso =
+    {
+      i_delta = Metrics.delta ();
+      i_provs = Array.of_list (List.map (fun mk -> mk ()) !spec_providers);
+    }
+  in
+  let s = { sp_state = Atomic.make 0; sp_result = None; sp_thunk = thunk; sp_iso = iso; sp_pool = t } in
+  Metrics.incr m_spec_started;
+  if t.jobs > 1 && Atomic.get speculation then
+    push_task t
+      {
+        t_run = (fun () -> if Atomic.compare_and_set s.sp_state 0 1 then run_spec s);
+        t_iso = Some iso;
+      };
+  s
+
+let spec_commit : type a. t -> a spec -> a =
+ fun t s ->
+  let finish (r : (a, exn * Printexc.raw_backtrace) result option) ~merge =
+    if merge then begin
+      Array.iter (fun p -> p.iso_commit ()) s.sp_iso.i_provs;
+      Metrics.apply s.sp_iso.i_delta
+    end;
+    Metrics.incr m_spec_committed;
+    match r with
+    | Some (Ok v) -> v
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None -> assert false
+  in
+  let rec go () =
+    match Atomic.get s.sp_state with
+    | 0 ->
+      if Atomic.compare_and_set s.sp_state 0 5 then begin
+        (* Never started — the jobs=1 / speculation-off path, or the
+           queued task was not reached yet.  Run it right here in the
+           caller's own context: effects land directly, nothing to
+           merge, byte-identical to not having speculated at all.  The
+           still-queued task (if any) loses the start CAS and no-ops. *)
+        let r =
+          try Ok (s.sp_thunk ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        s.sp_result <- Some r;
+        finish (Some r) ~merge:false
+      end
+      else go ()
+    | 1 ->
+      (* running elsewhere: help with other work instead of spinning *)
+      let slot = match my_slot t with Some sl -> sl | None -> -1 in
+      (match acquire t ~slot ~stop:(fun () -> Atomic.get s.sp_state <> 1) with
+      | Some task -> exec t task
+      | None -> ());
+      go ()
+    | 2 -> finish s.sp_result ~merge:true
+    | _ -> invalid_arg "Pool.spec_commit: task was cancelled"
+  in
+  go ()
+
+let rec spec_cancel t s =
+  match Atomic.get s.sp_state with
+  | 0 ->
+    if Atomic.compare_and_set s.sp_state 0 4 then Metrics.incr m_spec_cancelled
+    else spec_cancel t s
+  | 1 ->
+    if Atomic.compare_and_set s.sp_state 1 3 then Metrics.incr m_spec_cancelled
+    else spec_cancel t s
+  | 2 ->
+    if Atomic.compare_and_set s.sp_state 2 4 then begin
+      iso_abort_all s.sp_iso;
+      Metrics.incr m_spec_cancelled
+    end
+    else spec_cancel t s
+  | 3 | 4 -> () (* cancelling twice is fine *)
+  | _ -> invalid_arg "Pool.spec_cancel: task was already committed"
+
+(* --- scheduler counters ----------------------------------------------- *)
+
+type stats = {
+  tasks : int;
+  steals : int;
+  splits : int;
+  spec_started : int;
+  spec_committed : int;
+  spec_cancelled : int;
+  worker_failures : int;
+  suppressed_failures : int;
+}
+
+let stats () =
+  {
+    tasks = Metrics.counter_value m_tasks;
+    steals = Metrics.counter_value m_steals;
+    splits = Metrics.counter_value m_splits;
+    spec_started = Metrics.counter_value m_spec_started;
+    spec_committed = Metrics.counter_value m_spec_committed;
+    spec_cancelled = Metrics.counter_value m_spec_cancelled;
+    worker_failures = Metrics.counter_value m_worker_failures;
+    suppressed_failures = Metrics.counter_value m_suppressed_failures;
+  }
+
+let describe (s : stats) =
+  Printf.sprintf
+    "pool: tasks %d, steals %d, splits %d, spec %d started / %d committed / %d cancelled"
+    s.tasks s.steals s.splits s.spec_started s.spec_committed s.spec_cancelled
 
 (* Process-wide pool, sized by the most recent request. *)
 let shared_mutex = Mutex.create ()

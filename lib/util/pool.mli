@@ -1,22 +1,32 @@
-(** Fixed-size work pool over OCaml 5 domains.
+(** Work-stealing domain pool with speculative task execution.
 
-    A pool owns [jobs - 1] worker domains blocked on a shared task queue;
-    the caller of {!map_ordered} is the remaining worker, so a pool sized
-    [jobs] computes with exactly [jobs]-way parallelism and a pool sized 1
-    never spawns a domain at all (the map degenerates to [Array.map],
-    byte-for-byte).
+    A pool owns [jobs - 1] worker domains, each with a private
+    work-stealing deque ({!Deque}): owners push and pop at the bottom
+    (LIFO), idle executors steal from the top (FIFO, biggest sub-range
+    first).  The caller of {!map_range}/{!map_ordered} is the remaining
+    executor, so a pool sized [jobs] computes with exactly [jobs]-way
+    parallelism and a pool sized 1 never spawns a domain at all (maps
+    degenerate to strict left-to-right [Array.map], byte-for-byte).
 
-    Tasks must be independent: they may run in any order and on any
-    domain.  Results are always delivered in input order, so a pure
-    element function makes [map_ordered] equivalent to [Array.map]
-    regardless of [jobs] — the property the experiment layer relies on
-    for its [--jobs]-independence guarantee.
+    {!map_range} exposes a sweep as splittable sub-ranges: the range is
+    split in half lazily — fork the right half where a thief can steal
+    it, descend into the left, stop at [cutoff] — so load balances
+    without any central division of labour.  Results are always joined
+    in input order: a pure element function makes any map equivalent to
+    its sequential form regardless of [jobs], the property the
+    experiment layer relies on for its [--jobs]-independence guarantee.
 
-    Nested use is supported: a task may itself call {!map_ordered} on the
-    same pool.  While an inner call waits for its results it helps drain
-    the shared queue (executing whatever task is next, including tasks of
-    other in-flight maps), so nesting adds no deadlock and wastes no
-    worker.
+    Nested use is supported: a task may itself map on the same pool.
+    While an inner call waits for its results it helps — running its own
+    deque, the posted-thunk inbox, or stolen tasks of other in-flight
+    maps — so nesting adds no deadlock and wastes no worker.
+
+    Speculation: {!spec_spawn} starts a cancellable task whose side
+    effects (metrics, cache publications) are buffered in per-task
+    isolation contexts; {!spec_commit} merges them, {!spec_cancel}
+    discards them.  Speculation may only change wall-clock, never
+    output: on a [jobs = 1] pool, or with {!set_speculation}[ false],
+    spawn defers and commit runs the winner inline.
 
     Lifecycle: a pool is live from {!create} until {!close} completes.
     Mapping on a closed pool raises {!Closed} rather than silently
@@ -26,8 +36,8 @@
 type t
 
 exception Closed
-(** Raised by {!map_ordered}/{!run_all} on a pool whose {!close} has
-    completed. *)
+(** Raised by the mapping functions and {!post} on a pool whose
+    {!close} has completed. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] defaults
@@ -38,21 +48,31 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** The parallelism width this pool was created with. *)
 
-val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
-(** [map_ordered t f arr] applies [f] to every element, running up to
-    [jobs t] applications concurrently, and returns the results in input
-    order.
+val map_range : t -> ?cutoff:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+(** [map_range t ~lo ~hi f] computes [[| f lo; …; f (hi - 1) |]] by
+    splitting [lo, hi) into stealable sub-ranges; sub-ranges of at most
+    [cutoff] elements (default 1) run sequentially.  Returns [[||]] when
+    [hi <= lo].  On a [jobs = 1] pool the range runs strictly left to
+    right in the calling domain.
 
     Error aggregation: if any application raises, the exception of the
     {e lowest-indexed} failing element is re-raised in the caller after
-    all scheduled work settles (deterministic regardless of which worker
-    failed first), with the {e original} backtrace of the failing task
-    preserved via [Printexc.raise_with_backtrace].  When several
-    elements fail, only the lowest-indexed exception can propagate; the
-    others are counted in the [pool.suppressed_failures] metric of
-    {!Rs_obs.Metrics} (one increment per additional failure) rather than
+    all scheduled work settles (deterministic regardless of which
+    executor failed first), with the {e original} backtrace preserved
+    via [Printexc.raise_with_backtrace].  Additional failures are
+    counted in the [pool.suppressed_failures] metric rather than
     silently discarded.  The pool remains usable after a failed map.
     Raises {!Closed} if the pool has been shut down. *)
+
+val parallel_for : t -> ?cutoff:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** {!map_range} for effects only. *)
+
+val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_ordered t f arr] applies [f] to every element through
+    {!map_range} (cutoff 1) and returns the results in input order.
+    Adds the per-element observability of the experiment runner: a
+    [pool.task] fault-injection site keyed by index and task start/stop
+    trace events.  Same error contract as {!map_range}. *)
 
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** Heterogeneous fan-out: run every thunk (concurrently, order
@@ -60,22 +80,25 @@ val run_all : t -> (unit -> 'a) list -> 'a list
     contract as {!map_ordered}. *)
 
 val post : t -> (unit -> unit) -> unit
-(** Fire-and-forget: enqueue a thunk on the shared work queue and return
-    immediately.  The thunk runs on whichever worker (or helping caller)
-    drains it next; there is no completion notification.  A raising
-    posted thunk never kills its executor — every queue task runs under
-    a guard that traps the exception and counts it in the
-    [pool.worker_failures] metric, keeping the worker domain (and the
-    pool's parallelism width) alive.  Note that a pool created with
-    [jobs = 1] has no worker domains: posted thunks only execute when
-    some concurrent [map_ordered] drains the queue.  Raises {!Closed}
-    on a shut-down pool. *)
+(** Fire-and-forget: enqueue a thunk on the pool's inbox and return
+    immediately.  The thunk runs on whichever executor drains it next;
+    there is no completion notification.  A raising posted thunk never
+    kills its executor — every task runs under a guard that traps the
+    exception and counts it in [pool.worker_failures].  Thunks still
+    queued when the pool shuts down are drained by the closing caller in
+    submission order ({!close} below), so posts are never silently
+    dropped — in particular on a [jobs = 1] pool, which has no worker
+    domains and otherwise only drains its inbox when a concurrent map
+    helps.  Raises {!Closed} on a shut-down pool. *)
 
 val close : t -> unit
-(** Shut the workers down and join their domains.  Called while maps are
-    in flight, it retires the pool instead: those maps (and their nested
-    maps) run to completion, the last one's epilogue performs the
-    shutdown, and only then do new maps raise {!Closed}.  Idempotent. *)
+(** Shut the workers down, join their domains, then drain: any tasks
+    still queued (posted thunks first, FIFO; then leftover stealable
+    tasks) run in the closing caller before [close] returns.  Called
+    while maps are in flight, it retires the pool instead: those maps
+    (and their nested maps) run to completion, the last one's epilogue
+    performs the shutdown and drain, and only then do new maps raise
+    {!Closed}.  Idempotent. *)
 
 val shared : jobs:int -> t
 (** The process-wide pool, created on first use.  Asking for a different
@@ -83,6 +106,92 @@ val shared : jobs:int -> t
     still has maps in flight, so a caller holding the old pool keeps a
     working one) and creates a fresh pool, so a long-lived process
     follows the most recent request. *)
+
+(** {1 Speculative execution}
+
+    Run both candidate continuations of a refinement step eagerly,
+    commit the winner, cancel the loser.  A speculative task's side
+    effects are buffered: metrics go into a {!Rs_obs.Metrics.delta} and
+    each registered {!spec_providers} entry supplies an {!isolator}
+    whose buffered state is merged on commit and dropped on cancel (the
+    experiment cache registers one; its commit re-checks the cache
+    generation, so a racing reset discards the speculative writes — the
+    rollback point).  The buffering follows the task wherever it runs:
+    executors attach the context around the task and around anything it
+    forks, including a nested {!map_range} inside the arm.
+
+    Determinism: on a [jobs = 1] pool or with speculation disabled,
+    {!spec_spawn} only records the thunk and {!spec_commit} runs it
+    inline in the caller's context — exactly the sequential execution.
+    Cancellation of a task that never started is free; a task cancelled
+    mid-run completes but its effects are discarded (cancellation is
+    cooperative, never preemptive).
+
+    Contract: every spawned task must eventually be committed or
+    cancelled, exactly one of the two. *)
+
+type 'a spec
+(** A speculative task returning ['a]. *)
+
+val spec_spawn : t -> (unit -> 'a) -> 'a spec
+(** Enqueue [thunk] as a cancellable speculative task (deferred on
+    [jobs = 1] / speculation-off pools).  Counted in
+    [pool.spec_started]. *)
+
+val spec_commit : t -> 'a spec -> 'a
+(** Wait for the task (helping with other pool work meanwhile), merge
+    its buffered effects, and return its result — or re-raise its
+    exception with the original backtrace.  If the task never started,
+    runs it inline in the caller's own context.  Counted in
+    [pool.spec_committed].
+    @raise Invalid_argument if the task was cancelled. *)
+
+val spec_cancel : t -> 'a spec -> unit
+(** Discard the task: never runs it if still pending, otherwise drops
+    its buffered effects.  Idempotent.  Counted in
+    [pool.spec_cancelled].
+    @raise Invalid_argument if the task was already committed. *)
+
+val set_speculation : bool -> unit
+(** Process-wide kill switch (default on).  With speculation off,
+    spawned tasks always defer to their {!spec_commit} — useful for
+    byte-identity A/B runs. *)
+
+val speculation_enabled : unit -> bool
+
+type isolator = {
+  iso_attach : unit -> unit;  (** install this task's buffered state on the current domain *)
+  iso_detach : unit -> unit;  (** remove it (executors pair attach/detach around runs) *)
+  iso_commit : unit -> unit;  (** merge the buffer into the global state *)
+  iso_abort : unit -> unit;  (** discard the buffer *)
+}
+(** One layer's side-effect isolation for one speculative task. *)
+
+val spec_providers : (unit -> isolator) list ref
+(** Isolation providers consulted by {!spec_spawn} — one fresh
+    {!isolator} per provider per task.  Wiring point for layers above
+    this library (the experiment cache), in the style of
+    {!fault_hook}; not for general use. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  tasks : int;
+  steals : int;
+  splits : int;
+  spec_started : int;
+  spec_committed : int;
+  spec_cancelled : int;
+  worker_failures : int;
+  suppressed_failures : int;
+}
+
+val stats : unit -> stats
+(** Process-wide scheduler counters (the [pool.*] metrics of
+    {!Rs_obs.Metrics}, summed over every pool). *)
+
+val describe : stats -> string
+(** One-line rendering for [--pool-stats]. *)
 
 val fault_hook : (site:string -> key:string -> unit) ref
 (** Wiring point for [Rs_fault]: consulted at the ["pool.task"] and

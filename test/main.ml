@@ -15,6 +15,7 @@ let () =
         ("props", Test_props.suite);
         ("obs", Test_obs.suite);
         ("pool", Test_pool.suite);
+        ("scheduler", Test_scheduler.suite);
         ("fault", Test_fault.suite);
         ("behavior", Test_behavior.suite);
         ("trace-store", Test_trace_store.suite);

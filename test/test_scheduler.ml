@@ -1,0 +1,294 @@
+(* The work-stealing scheduler: deque semantics, splittable map_range,
+   jobs-independence under random nesting, speculative execution with
+   commit/rollback of buffered side effects, and the post/close drain
+   guarantee. *)
+
+module Pool = Rs_util.Pool
+module Deque = Rs_util.Deque
+module Metrics = Rs_obs.Metrics
+module Fault = Rs_fault.Fault
+module E = Rs_experiments
+
+let busy n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc * 7) + i
+  done;
+  !acc
+
+let with_pool ?(jobs = 4) f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () -> f pool
+
+(* --- deque ----------------------------------------------------------------- *)
+
+let test_deque_ends () =
+  let d = Deque.create () in
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal d);
+  (* past the initial capacity, so growth is exercised *)
+  for i = 1 to 20 do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "length" 20 (Deque.length d);
+  Alcotest.(check (option int)) "owner pops newest (LIFO)" (Some 20) (Deque.pop d);
+  Alcotest.(check (option int)) "thief steals oldest (FIFO)" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "next steal" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "next pop" (Some 19) (Deque.pop d);
+  let rec drain acc = match Deque.pop d with Some v -> drain (v :: acc) | None -> acc in
+  Alcotest.(check (list int)) "drain by pop returns the middle, oldest first"
+    (List.init 16 (fun i -> i + 3))
+    (drain [])
+
+(* Stealing advances the ring's head; pushing afterwards must wrap
+   around the buffer rather than overwrite live cells. *)
+let test_deque_wraparound () =
+  let d = Deque.create () in
+  for i = 1 to 6 do
+    Deque.push d i
+  done;
+  for _ = 1 to 4 do
+    ignore (Deque.steal d)
+  done;
+  for i = 7 to 12 do
+    Deque.push d i
+  done;
+  let rec drain acc = match Deque.steal d with Some v -> drain (v :: acc) | None -> acc in
+  Alcotest.(check (list int)) "wrapped contents survive, FIFO"
+    [ 5; 6; 7; 8; 9; 10; 11; 12 ]
+    (List.rev (drain []))
+
+(* --- map_range ------------------------------------------------------------- *)
+
+let test_map_range_basics () =
+  with_pool @@ fun pool ->
+  Alcotest.(check (array int)) "empty range" [||] (Pool.map_range pool ~lo:3 ~hi:3 Fun.id);
+  Alcotest.(check (array int)) "offset range" [| 9; 16; 25 |]
+    (Pool.map_range pool ~lo:3 ~hi:6 (fun i -> i * i));
+  (* a coarse cutoff changes scheduling, never results *)
+  let expect = Array.init 100 (fun i -> i * 3) in
+  Alcotest.(check (array int)) "cutoff 16"
+    expect
+    (Pool.map_range pool ~cutoff:16 ~lo:0 ~hi:100 (fun i -> i * 3));
+  let sum = ref 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:50 (fun i -> ignore (busy 100); ignore i);
+  ignore !sum
+
+let test_map_range_splits_and_steals () =
+  let splits_before = (Pool.stats ()).splits in
+  let steals_before = (Pool.stats ()).steals in
+  with_pool ~jobs:4 @@ fun pool ->
+  (* enough uneven work that idle workers provably steal *)
+  let out =
+    Pool.map_range pool ~lo:0 ~hi:64 (fun i ->
+        ignore (busy (if i mod 7 = 0 then 400_000 else 2_000));
+        i)
+  in
+  Alcotest.(check (array int)) "results in order" (Array.init 64 Fun.id) out;
+  Alcotest.(check bool) "range was split" true ((Pool.stats ()).splits > splits_before);
+  Alcotest.(check bool) "workers stole sub-ranges" true ((Pool.stats ()).steals > steals_before)
+
+let test_map_range_jobs1_strict_order () =
+  with_pool ~jobs:1 @@ fun pool ->
+  let trace = ref [] in
+  let out =
+    Pool.map_range pool ~lo:2 ~hi:10 (fun i ->
+        trace := i :: !trace;
+        i)
+  in
+  Alcotest.(check (list int)) "strict left-to-right" [ 9; 8; 7; 6; 5; 4; 3; 2 ] !trace;
+  Alcotest.(check (array int)) "values" (Array.init 8 (fun i -> i + 2)) out
+
+(* Random nesting depths and uneven durations: results must not depend
+   on jobs.  Uses the repo PRNG so failures replay deterministically. *)
+let nested_identity_prop (seed, n, depth, width) =
+  let rec go pool ~seed ~depth i =
+    let h = (seed * 1_000_003) + (i * 8191) + depth land 0xffffff in
+    ignore (busy (h land 0x1ff));
+    if depth = 0 then h land 0xffff
+    else
+      let inner =
+        Pool.map_range pool ~lo:0 ~hi:width (fun j -> go pool ~seed:(h + j) ~depth:(depth - 1) j)
+      in
+      Array.fold_left ( + ) (h land 0xffff) inner
+  in
+  let run jobs =
+    let pool = Pool.create ~jobs () in
+    Fun.protect ~finally:(fun () -> Pool.close pool) @@ fun () ->
+    Pool.map_range pool ~lo:0 ~hi:n (fun i -> go pool ~seed ~depth i)
+  in
+  run 1 = run 8
+
+let nested_identity_test =
+  Prop.test ~count:10 "nested map_range is jobs-independent"
+    ~print:(fun (s, n, d, w) -> Printf.sprintf "seed=%d n=%d depth=%d width=%d" s n d w)
+    (fun rng ->
+      ( Prop.int ~lo:0 ~hi:1_000_000 rng,
+        Prop.int ~lo:0 ~hi:9 rng,
+        Prop.int ~lo:0 ~hi:2 rng,
+        Prop.int ~lo:1 ~hi:5 rng ))
+    nested_identity_prop
+
+(* --- speculation ----------------------------------------------------------- *)
+
+let spec_counter = Metrics.counter "test.scheduler_spec"
+
+let await flag =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get flag)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check bool) "speculative task ran" true (Atomic.get flag)
+
+let test_spec_commit_merges () =
+  with_pool @@ fun pool ->
+  let before = Metrics.counter_value spec_counter in
+  let s =
+    Pool.spec_spawn pool (fun () ->
+        Metrics.incr spec_counter;
+        41)
+  in
+  Alcotest.(check int) "commit returns the result" 41 (Pool.spec_commit pool s);
+  Alcotest.(check int) "buffered increment applied on commit" (before + 1)
+    (Metrics.counter_value spec_counter)
+
+let test_spec_cancel_discards () =
+  with_pool @@ fun pool ->
+  let before = Metrics.counter_value spec_counter in
+  let ran = Atomic.make false in
+  let s =
+    Pool.spec_spawn pool (fun () ->
+        Metrics.incr spec_counter;
+        Atomic.set ran true)
+  in
+  await ran;
+  Pool.spec_cancel pool s;
+  Pool.spec_cancel pool s (* idempotent *);
+  Alcotest.(check int) "cancelled task leaked no metrics" before
+    (Metrics.counter_value spec_counter);
+  match Pool.spec_commit pool s with
+  | _ -> Alcotest.fail "committing a cancelled task must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_spec_cancel_pending_never_runs () =
+  with_pool ~jobs:1 @@ fun pool ->
+  (* jobs=1 defers the spawn, so cancel wins before any execution *)
+  let ran = ref false in
+  let s = Pool.spec_spawn pool (fun () -> ran := true) in
+  Pool.spec_cancel pool s;
+  Alcotest.(check bool) "pending task never ran" false !ran
+
+let test_spec_jobs1_inline () =
+  with_pool ~jobs:1 @@ fun pool ->
+  let before = Metrics.counter_value spec_counter in
+  let order = ref [] in
+  let s =
+    Pool.spec_spawn pool (fun () ->
+        order := "arm" :: !order;
+        Metrics.incr spec_counter;
+        7)
+  in
+  order := "pre-commit" :: !order;
+  Alcotest.(check int) "deferred arm runs inline at commit" 7 (Pool.spec_commit pool s);
+  Alcotest.(check (list string)) "sequential order" [ "arm"; "pre-commit" ] !order;
+  Alcotest.(check int) "inline run records directly" (before + 1)
+    (Metrics.counter_value spec_counter)
+
+let test_spec_exception_rethrown () =
+  with_pool @@ fun pool ->
+  let s = Pool.spec_spawn pool (fun () -> failwith "spec boom") in
+  (match Pool.spec_commit pool s with
+  | _ -> Alcotest.fail "expected the arm's exception"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "spec boom" msg);
+  (* a failed arm can also be cancelled instead: effects drop silently *)
+  let s2 = Pool.spec_spawn pool (fun () -> failwith "spec boom 2") in
+  Pool.spec_cancel pool s2
+
+(* A committed arm publishes its cache writes; a cancelled arm's writes
+   roll back and the global table recomputes. *)
+let test_spec_cache_rollback () =
+  E.Cache.reset ();
+  let m = E.Cache.Private.memo "test-spec-txn" in
+  with_pool @@ fun pool ->
+  let compute_committed = Atomic.make false and compute_cancelled = Atomic.make false in
+  let win =
+    Pool.spec_spawn pool (fun () ->
+        let v = E.Cache.Private.find_or_compute m ~bench:"t" "win" (fun () -> 5) in
+        Atomic.set compute_committed true;
+        v)
+  in
+  let lose =
+    Pool.spec_spawn pool (fun () ->
+        ignore (E.Cache.Private.find_or_compute m ~bench:"t" "lose" (fun () -> 6));
+        Atomic.set compute_cancelled true)
+  in
+  await compute_committed;
+  await compute_cancelled;
+  Pool.spec_cancel pool lose;
+  Alcotest.(check int) "winner's value" 5 (Pool.spec_commit pool win);
+  Alcotest.(check int) "committed write published (no recompute)" 5
+    (E.Cache.Private.find_or_compute m ~bench:"t" "win" (fun () -> 99));
+  Alcotest.(check int) "cancelled write rolled back (recomputes)" 7
+    (E.Cache.Private.find_or_compute m ~bench:"t" "lose" (fun () -> 7));
+  E.Cache.reset ()
+
+(* Chaos: injected faults at the scheduler's sites while speculation
+   churns.  Worker-start faults kill helpers (the caller still completes
+   everything); task faults abort whole maps.  Through all of it the
+   global counter must see exactly the committed arms — a cancelled
+   arm's buffered effects never leak, fault or no fault. *)
+let test_spec_chaos_never_leaks () =
+  (match Fault.configure_spec "seed=13,rate=0.35,sites=pool.worker_start:pool.task" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "bad fault spec: %s" msg);
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  with_pool ~jobs:4 @@ fun pool ->
+  let before = Metrics.counter_value spec_counter in
+  let committed = ref 0 in
+  for round = 1 to 20 do
+    let arm k =
+      Pool.spec_spawn pool (fun () ->
+          ignore (busy (200 * k));
+          Metrics.incr spec_counter)
+    in
+    let a = arm round and b = arm (round + 1) in
+    (* interleave a map so pool.task faults fire mid-flight *)
+    (try ignore (Pool.map_ordered pool (fun i -> i * i) (Array.init 8 Fun.id))
+     with Fault.Injected _ -> ());
+    let keep, drop = if round mod 2 = 0 then (a, b) else (b, a) in
+    Pool.spec_cancel pool drop;
+    Pool.spec_commit pool keep;
+    incr committed
+  done;
+  Alcotest.(check int) "exactly the committed arms landed" (before + !committed)
+    (Metrics.counter_value spec_counter)
+
+(* --- post / close drain ---------------------------------------------------- *)
+
+let test_jobs1_post_drained_at_close () =
+  let pool = Pool.create ~jobs:1 () in
+  let hits = ref [] in
+  Pool.post pool (fun () -> hits := 1 :: !hits);
+  Pool.post pool (fun () -> hits := 2 :: !hits);
+  (* no worker domains: nothing may run until the close drain *)
+  Alcotest.(check (list int)) "not yet run" [] !hits;
+  Pool.close pool;
+  Alcotest.(check (list int)) "drained in submission order at close" [ 1; 2 ] (List.rev !hits)
+
+let suite =
+  [
+    Alcotest.test_case "deque ends" `Quick test_deque_ends;
+    Alcotest.test_case "deque wraparound" `Quick test_deque_wraparound;
+    Alcotest.test_case "map_range basics" `Quick test_map_range_basics;
+    Alcotest.test_case "map_range splits and steals" `Quick test_map_range_splits_and_steals;
+    Alcotest.test_case "map_range jobs=1 strict order" `Quick test_map_range_jobs1_strict_order;
+    nested_identity_test;
+    Alcotest.test_case "spec commit merges" `Quick test_spec_commit_merges;
+    Alcotest.test_case "spec cancel discards" `Quick test_spec_cancel_discards;
+    Alcotest.test_case "spec cancel pending never runs" `Quick test_spec_cancel_pending_never_runs;
+    Alcotest.test_case "spec jobs=1 inline" `Quick test_spec_jobs1_inline;
+    Alcotest.test_case "spec exception rethrown" `Quick test_spec_exception_rethrown;
+    Alcotest.test_case "spec cache rollback" `Quick test_spec_cache_rollback;
+    Alcotest.test_case "spec chaos never leaks" `Quick test_spec_chaos_never_leaks;
+    Alcotest.test_case "jobs=1 post drained at close" `Quick test_jobs1_post_drained_at_close;
+  ]
