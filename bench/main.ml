@@ -104,7 +104,30 @@ let bench_distill () =
   (* figure1 kernel: a full distillation *)
   let r = Lazy.force region in
   let a = Rs_distill.Assumptions.branches [ (0, true); (2, false) ] in
-  (Rs_distill.Distill.distill r.func a).distilled_size
+  (Rs_distill.Distill.distill r.prog a).distilled_size
+
+let multi_region =
+  lazy
+    (Rs_ir.Synth.program ~rng:(Rs_util.Prng.create 3) ~helper_sites:2 ~loop_trips:3
+       ~first_site:0 ())
+
+let bench_distill_cfg () =
+  (* interprocedural distillation: edge pruning, path-directed inlining,
+     per-function fixpoint, hot/cold split *)
+  let r = Lazy.force multi_region in
+  let a = Rs_distill.Assumptions.branches [ (0, true); (1, true); (4, true) ] in
+  let d = Rs_distill.Distill.distill r.prog a in
+  d.distilled_size + d.stats.Rs_distill.Distill.inlined_calls
+
+let bench_path_extract () =
+  (* CFG construction (preds/succs/edges/rpo/dominators) plus hot-path
+     extraction under branch assumptions *)
+  let r = Lazy.force multi_region in
+  let f = Rs_ir.Program.entry_func r.prog in
+  let cfg = Rs_ir.Cfg.build f in
+  let assume site = if site land 1 = 0 then Some true else None in
+  let p = Rs_ir.Path.extract cfg ~assume in
+  Array.length p.Rs_ir.Path.blocks + Array.length (Rs_ir.Cfg.rpo cfg)
 
 let mssp_instance =
   lazy
@@ -230,6 +253,8 @@ let kernels : (string * (unit -> int)) list =
     ("figure5+table3+4/reactive-run-replay", bench_reactive_replay);
     ("figure6/eviction-watch", bench_eviction_watch);
     ("figure1/distill", bench_distill);
+    ("figure1/distill-cfg", bench_distill_cfg);
+    ("figure1/path-extract", bench_path_extract);
     ("figure7+8+table5/mssp-build", bench_mssp_build);
     ("figure7+8+table5/mssp-run", bench_mssp);
     ("substrate/stream-generation", bench_stream);
@@ -331,7 +356,7 @@ let run_reproductions () =
   let via run render ctx = print_string (render (run ctx)) in
   section "table1" (via Rs_experiments.Table1.run Rs_experiments.Table1.render);
   section "table2" (via Rs_experiments.Table2.run Rs_experiments.Table2.render);
-  section "figure1" (fun _ctx -> print_string Rs_experiments.Figure1.(render (run ())));
+  section "figure1" (via Rs_experiments.Figure1.run Rs_experiments.Figure1.render);
   section "figure2" (via Rs_experiments.Figure2.run Rs_experiments.Figure2.render);
   section "figure3" (via Rs_experiments.Figure3.run Rs_experiments.Figure3.render);
   section "figure5+table4"

@@ -89,6 +89,40 @@ else
 fi
 rm -f "$RSPEC_JSON" "$RSPEC_LIST" "$RSPEC_LIST.doc"
 
+# Distillation stage: the figure1 entry's interprocedural companion —
+# a seed-derived multi-function program distilled under branch
+# assumptions — must show the whole pipeline doing real work at two
+# seeds: at least one call inlined along the speculated path, a
+# non-empty cold region with entry stubs, and a differential check in
+# which every assumption-consistent trial agrees and every
+# assumption-violating trial is detected (check_ok).
+echo "== distill (interprocedural differential checker, two seeds) =="
+for seed in 5 19; do
+  DIST_JSON=$(mktemp /tmp/rs_distill.XXXXXX.json)
+  timeout 600 "$RSPEC" run figure1 \
+    --format json --seed "$seed" --scale 0.02 --tau 10 --jobs 1 > "$DIST_JSON"
+  if command -v jq >/dev/null 2>&1; then
+    jq -e '.experiments[0].tables.program.rows[0] as $r
+           | ($r[0] >= 2)            # functions
+           and ($r[2] <= $r[1])      # distilled_size <= original_size
+           and ($r[3] >= 1)          # inlined_calls
+           and ($r[5] >= 1)          # cold_blocks
+           and ($r[6] >= 1)          # cold_entries
+           and ($r[7] == $r[8] + $r[9])  # trials = consistent + violated
+           and ($r[9] >= 1)          # violations exercised
+           and ($r[10] == $r[9])     # every violation detected
+           and ($r[11] == true)      # check_ok
+          ' "$DIST_JSON" >/dev/null \
+      || { echo "distill stage failed at seed=$seed:" >&2
+           jq '.experiments[0].tables.program' "$DIST_JSON" >&2
+           exit 1; }
+    echo "distill ok at seed=$seed: $(jq -c '.experiments[0].tables.program.rows[0]' "$DIST_JSON")"
+  else
+    echo "distill json written ($DIST_JSON); jq not installed, skipping assertions"
+  fi
+  rm -f "$DIST_JSON"
+done
+
 # Adversarial stage: the three adversarial entries (params-aware worst
 # cases, mistraining schedules, multi-context interleavings) run end to
 # end at two seeds under injected faults — including the

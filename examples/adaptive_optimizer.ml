@@ -24,8 +24,9 @@ let () =
   let rng = Prng.create 2024 in
   let region = Rs_ir.Synth.generate ~rng ~n_sites:4 ~first_site:0 () in
   Format.printf "The hot region (%d static instructions):@.%a@."
-    (Rs_ir.Func.static_size region.func)
-    Rs_ir.Func.pp region.func;
+    (Rs_ir.Program.static_size region.prog)
+    Rs_ir.Func.pp
+    (Rs_ir.Program.entry_func region.prog);
 
   (* site behaviours: 0 and 1 strongly biased, 2 reverses at 20k, 3 unbiased *)
   let behaviors =
@@ -43,7 +44,7 @@ let () =
       monitor_period = 1_000; optimization_latency = 0 }
   in
   let controller = Reactive.create ~n_branches:4 params in
-  let cache = Rs_distill.Distill.Cache.create region.func in
+  let cache = Rs_distill.Distill.Cache.create region.prog in
   let deployed = ref (Rs_distill.Distill.Cache.get cache A.empty) in
   let deployments = ref 0 in
 
@@ -75,7 +76,7 @@ let () =
       mem
     in
     match
-      Rs_distill.Verify.check ~orig:region.func ~distilled:!deployed.distilled ~assumptions
+      Rs_distill.Check.check ~orig:region.prog ~distilled:!deployed.distilled ~assumptions
         ~prepare ~trials:32
     with
     | Ok _ -> "verified"

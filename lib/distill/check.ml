@@ -1,0 +1,73 @@
+module Interp = Rs_ir.Interp
+
+type report = { trials : int; consistent : int; violated : int; detected : int }
+
+let mem_diff a b =
+  let d = ref (-1) in
+  Array.iteri (fun i v -> if !d < 0 && v <> b.(i) then d := i) a;
+  !d
+
+let pp_ret = function Some v -> string_of_int v | None -> "none"
+
+let check ~orig ~distilled ~assumptions ~prepare ~trials =
+  let consistent = ref 0 in
+  let violated = ref 0 in
+  let detected = ref 0 in
+  let failure = ref None in
+  let trial i =
+    let mem_o = prepare i in
+    let mem_d = Array.copy mem_o in
+    (* run the original, watching for assumed branches going the other
+       way.  Load-value assumptions cannot be re-checked in general
+       (addresses are dynamic), so their consistency is the caller's
+       responsibility via [prepare]; branch assumptions are checked. *)
+    let viol = ref false in
+    let hook ~site ~taken =
+      match Assumptions.direction assumptions site with
+      | Some d when d <> taken -> viol := true
+      | _ -> ()
+    in
+    let ro = Interp.run ~hook orig ~mem:mem_o in
+    if not !viol then begin
+      incr consistent;
+      match Interp.run distilled ~mem:mem_d with
+      | rd ->
+        if ro.Interp.return_value <> rd.Interp.return_value then
+          failure :=
+            Some
+              (Printf.sprintf "trial %d: return value mismatch (%s vs %s)" i
+                 (pp_ret ro.Interp.return_value) (pp_ret rd.Interp.return_value))
+        else begin
+          let d = mem_diff mem_o mem_d in
+          if d >= 0 then
+            failure :=
+              Some
+                (Printf.sprintf "trial %d: memory differs at %d (%d vs %d)" i d
+                   mem_o.(d) mem_d.(d))
+        end
+      | exception Interp.Stuck msg ->
+        failure :=
+          Some (Printf.sprintf "trial %d: distilled stuck on a consistent input: %s" i msg)
+    end
+    else begin
+      (* an assumption was violated: the distilled code is allowed to be
+         wrong here, and the harness must be able to tell — divergence
+         in any observable state (or the distilled code getting stuck,
+         e.g. looping on a pruned exit) counts as detection *)
+      incr violated;
+      match Interp.run distilled ~mem:mem_d with
+      | rd ->
+        if ro.Interp.return_value <> rd.Interp.return_value || mem_diff mem_o mem_d >= 0
+        then incr detected
+      | exception Interp.Stuck _ -> incr detected
+    end
+  in
+  let i = ref 0 in
+  while !i < trials && !failure = None do
+    trial !i;
+    incr i
+  done;
+  match !failure with
+  | Some msg -> Error msg
+  | None ->
+    Ok { trials = !i; consistent = !consistent; violated = !violated; detected = !detected }

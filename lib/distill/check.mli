@@ -1,0 +1,32 @@
+(** Differential correctness checking of distilled code.
+
+    Distilled code must behave exactly like the original {e whenever the
+    assumptions hold}.  This module checks that by co-executing both
+    programs on caller-prepared memories and comparing all observable
+    state: final memory and the return value.  Trials whose execution
+    violates a branch assumption prove nothing about equivalence —
+    instead, the checker asserts the violation is {e detectable}: the
+    distilled execution must observably diverge (different return value,
+    different memory, or stuck), because that divergence is exactly what
+    the MSSP verification stage catches before any speculative state is
+    committed. *)
+
+type report = {
+  trials : int;  (** Trials executed. *)
+  consistent : int;  (** Trials whose execution satisfied the assumptions. *)
+  violated : int;  (** Trials that violated a branch assumption. *)
+  detected : int;
+      (** Violated trials on which the distilled execution observably
+          diverged from the original. *)
+}
+
+val check :
+  orig:Rs_ir.Program.t ->
+  distilled:Rs_ir.Program.t ->
+  assumptions:Assumptions.t ->
+  prepare:(int -> int array) ->
+  trials:int ->
+  (report, string) result
+(** [prepare i] builds the memory image for trial [i]; it is copied for
+    each version.  Returns [Error] describing the first divergence on an
+    assumption-consistent trial. *)

@@ -1,24 +1,53 @@
 (** The distiller: produce MSSP-style unchecked speculative code.
 
-    Given a region and a set of assumptions, returns the distilled
-    function together with size accounting.  Results are cached by
-    assumption signature — re-optimization requests from the speculation
-    controller hit the cache when a previously-seen configuration
-    recurs. *)
+    Given a program and a set of assumptions, returns the distilled
+    program together with size accounting and per-pass statistics.  The
+    pipeline prunes assumed-dead CFG edges, inlines calls along the
+    speculated hot path, optimizes each function to a fixpoint and
+    splits the entry function into hot and cold regions.  Results are
+    cached by assumption signature — re-optimization requests from the
+    speculation controller hit the cache when a previously-seen
+    configuration recurs. *)
 
-type result = {
-  distilled : Rs_ir.Func.t;
-  original_size : int;  (** Static instructions before distillation. *)
-  distilled_size : int;
+type stats = {
+  inlined_calls : int;  (** Call sites inlined along the hot path. *)
+  hot_blocks : int;  (** Entry-function blocks on the speculated path. *)
+  cold_blocks : int;  (** Off-path blocks moved to the cold region. *)
+  cold_entries : int;
+      (** Distinct cold blocks directly reachable from hot code — the
+          misspeculation-recovery entry stubs the MSSP cost model
+          prices via [Config.cold_stub_cost]. *)
 }
 
-val distill : Rs_ir.Func.t -> Assumptions.t -> result
+type result = {
+  distilled : Rs_ir.Program.t;
+  original_size : int;  (** Static instructions before distillation. *)
+  distilled_size : int;
+  stats : stats;
+}
+
+val distill : ?inline_budget:int -> Rs_ir.Program.t -> Assumptions.t -> result
+(** [inline_budget] (default 8) bounds the number of call sites inlined
+    along the hot path. *)
+
+val fault_hook : (site:string -> key:string -> unit) ref
+(** Consulted at site ["distill.pass"] before each pipeline pass (key =
+    pass name).  Default no-op.  Not for general use — install
+    [Rs_fault.Fault] plans via its [configure]. *)
+
+val retry_limit : unit -> int
+(** Total pipeline attempts before an injected fault propagates
+    (default 3). *)
+
+val set_retry_limit : int -> unit
+(** Clamped to at least 1; only for tests. *)
 
 (** Per-region distillation cache. *)
 module Cache : sig
   type t
 
-  val create : Rs_ir.Func.t -> t
+  val create : Rs_ir.Program.t -> t
+
   val get : t -> Assumptions.t -> result
   (** Distill or return the cached result. *)
 

@@ -1,5 +1,8 @@
 module Func = Rs_ir.Func
 module Instr = Rs_ir.Instr
+module Program = Rs_ir.Program
+module Cfg = Rs_ir.Cfg
+module Path = Rs_ir.Path
 
 (* --- assumption substitution -------------------------------------------- *)
 
@@ -91,6 +94,11 @@ let analyze (f : Func.t) =
     for l = 0 to n - 1 do
       if reached.(l) then begin
         let out = block_out f in_states.(l) l in
+        (* a call's return register is defined by the terminator, so the
+           value flowing to the continuation is unknown *)
+        (match Func.term_def f.blocks.(l).term with
+        | Some rd -> out.(rd) <- Unknown
+        | None -> ());
         List.iter
           (fun s ->
             if not reached.(s) then begin
@@ -176,16 +184,16 @@ let dead_code_elimination (f : Func.t) =
   (* live-out sets per block, as boolean arrays over registers *)
   let live_out = Array.init n (fun _ -> Array.make f.nregs false) in
   let succs = Array.map Func.successors f.blocks in
-  let term_uses b =
-    match b.Func.term with
-    | Func.Branch { cond; _ } -> [ cond ]
-    | Func.Ret (Some r) -> [ r ]
-    | Func.Jump _ | Func.Ret None -> []
+  (* terminator effect on liveness: a call's return register is a def
+     (killed before its argument uses are added) *)
+  let seed_term live (b : Func.block) =
+    (match Func.term_def b.term with Some rd -> live.(rd) <- false | None -> ());
+    List.iter (fun r -> live.(r) <- true) (Func.term_uses b.term)
   in
   (* live-in of a block given its live-out *)
   let live_in_of label out =
     let live = Array.copy out in
-    List.iter (fun r -> live.(r) <- true) (term_uses f.blocks.(label));
+    seed_term live f.blocks.(label);
     let body = f.blocks.(label).body in
     for i = Array.length body - 1 downto 0 do
       let instr = body.(i) in
@@ -223,7 +231,7 @@ let dead_code_elimination (f : Func.t) =
   Func.map_blocks
     (fun label b ->
       let live = Array.copy live_out.(label) in
-      List.iter (fun r -> live.(r) <- true) (term_uses b);
+      seed_term live b;
       let keep = Array.make (Array.length b.body) true in
       for i = Array.length b.body - 1 downto 0 do
         let instr = b.body.(i) in
@@ -268,6 +276,7 @@ let simplify_cfg (f : Func.t) =
           | Func.Branch br ->
             Func.Branch
               { br with taken = resolve [] br.taken; not_taken = resolve [] br.not_taken }
+          | Func.Call c -> Func.Call { c with next = resolve [] c.next }
           | t -> t
         in
         { b with Func.term })
@@ -292,16 +301,7 @@ let simplify_cfg (f : Func.t) =
          (fun l _ -> reach.(l))
          (Array.to_list
             (Array.map
-               (fun b ->
-                 let term =
-                   match b.Func.term with
-                   | Func.Jump l -> Func.Jump (relabel l)
-                   | Func.Branch br ->
-                     Func.Branch
-                       { br with taken = relabel br.taken; not_taken = relabel br.not_taken }
-                   | t -> t
-                 in
-                 { b with Func.term })
+               (fun b -> { b with Func.term = Func.map_term_labels relabel b.Func.term })
                f.blocks)))
   in
   { f with blocks; entry = relabel f.entry }
@@ -388,6 +388,8 @@ let local_cse (f : Func.t) =
         match b.term with
         | Func.Branch br -> Func.Branch { br with cond = resolve br.cond }
         | Func.Ret (Some r) -> Func.Ret (Some (resolve r))
+        | Func.Call c -> Func.Call { c with args = List.map resolve c.args }
+        | Func.TailCall c -> Func.TailCall { c with args = List.map resolve c.args }
         | t -> t
       in
       { Func.body; term })
@@ -424,8 +426,7 @@ let merge_blocks (f : Func.t) =
   in
   { f with blocks }
 
-let pipeline assumptions f =
-  let f = apply_assumptions assumptions f in
+let optimize f =
   let rec fix f budget =
     if budget = 0 then f
     else begin
@@ -440,3 +441,187 @@ let pipeline assumptions f =
     end
   in
   fix f 4
+
+let pipeline assumptions f = optimize (apply_assumptions assumptions f)
+
+(* --- path-directed call inlining ------------------------------------------
+
+   Inlining is speculative and path-directed: each round extracts the hot
+   path of the entry function under the branch assumptions and inlines
+   the first call the path crosses.  The callee's blocks are spliced
+   after the caller's with registers renamed above the caller's frame
+   (via [Func.map_regs]); since an interpreter frame starts zeroed, the
+   graft first zeroes the callee's renamed registers, then moves the
+   argument values in — dead zeroing folds away in the later passes.  A
+   callee [Ret] becomes a move into the call's return register plus a
+   jump to the continuation; a callee tail call inherits the call's
+   return register and continuation, becoming a plain call the next
+   round can inline in turn. *)
+
+let max_inline_blocks = 1024
+
+let inline_once (p : Program.t) ~assume =
+  let f = Program.entry_func p in
+  let cfg = Cfg.build f in
+  let path = Path.extract cfg ~assume in
+  let call_block =
+    Array.fold_left
+      (fun acc l ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match f.Func.blocks.(l).Func.term with
+          | Func.Call { callee; _ } when callee <> p.Program.entry -> Some l
+          | _ -> None))
+      None path.Path.blocks
+  in
+  match call_block with
+  | None -> None
+  | Some l -> (
+    match f.Func.blocks.(l).Func.term with
+    | Func.Call { callee; args; ret; next } ->
+      let g = p.Program.funcs.(callee) in
+      let nb = Array.length f.Func.blocks in
+      if nb + Array.length g.Func.blocks > max_inline_blocks then None
+      else begin
+        let shift = f.Func.nregs in
+        let g = Func.map_regs (fun r -> r + shift) g in
+        let frame_init =
+          Array.append
+            (Array.init g.Func.nregs (fun j -> Instr.Li (shift + j, 0)))
+            (Array.of_list (List.mapi (fun i a -> Instr.Mov (shift + i, a)) args))
+        in
+        let caller_blocks =
+          Array.mapi
+            (fun bl (b : Func.block) ->
+              if bl = l then
+                {
+                  Func.body = Array.append b.body frame_init;
+                  term = Func.Jump (nb + g.Func.entry);
+                }
+              else b)
+            f.Func.blocks
+        in
+        let splice (b : Func.block) =
+          match b.term with
+          | Func.Ret r ->
+            let body =
+              match (ret, r) with
+              | Some rd, Some rs -> Array.append b.body [| Instr.Mov (rd, rs) |]
+              | _ -> b.body
+            in
+            { Func.body; term = Func.Jump next }
+          | Func.TailCall { callee = c2; args = a2 } ->
+            { b with Func.term = Func.Call { callee = c2; args = a2; ret; next } }
+          | _ ->
+            { b with Func.term = Func.map_term_labels (fun x -> x + nb) b.term }
+        in
+        let blocks = Array.append caller_blocks (Array.map splice g.Func.blocks) in
+        let f' = { f with Func.blocks; nregs = shift + g.Func.nregs } in
+        Some (Program.with_entry_func p f')
+      end
+    | _ -> None)
+
+let inline_calls ?(budget = 8) ~assume (p : Program.t) =
+  let count = ref 0 in
+  let cur = ref p in
+  let continue = ref true in
+  while !continue && !count < budget do
+    match inline_once !cur ~assume with
+    | Some p' ->
+      cur := p';
+      incr count
+    | None -> continue := false
+  done;
+  (!cur, !count)
+
+(* Functions no longer referenced from the entry's call graph (everything
+   inlined) are dropped, with callee indices compacted. *)
+let prune_dead_funcs (p : Program.t) =
+  let n = Array.length p.Program.funcs in
+  let keep = Array.make n false in
+  let rec mark i =
+    if not keep.(i) then begin
+      keep.(i) <- true;
+      List.iter mark (Func.calls p.Program.funcs.(i))
+    end
+  in
+  mark p.Program.entry;
+  if Array.for_all Fun.id keep then p
+  else begin
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        remap.(i) <- !next;
+        incr next
+      end
+    done;
+    let fix_callees f =
+      Func.map_blocks
+        (fun _ (b : Func.block) ->
+          {
+            b with
+            Func.term =
+              (match b.term with
+              | Func.Call c -> Func.Call { c with callee = remap.(c.callee) }
+              | Func.TailCall c -> Func.TailCall { c with callee = remap.(c.callee) }
+              | t -> t);
+          })
+        f
+    in
+    let funcs =
+      Array.of_list (List.filteri (fun i _ -> keep.(i)) (Array.to_list p.Program.funcs))
+    in
+    { p with Program.funcs = Array.map fix_callees funcs; entry = remap.(p.Program.entry) }
+  end
+
+(* --- hot/cold splitting ---------------------------------------------------
+
+   Lay the entry function out hot-path-first: path blocks in path order,
+   every off-path block after them in the cold region.  Pure reordering —
+   dynamic behaviour, sizes and site ids are untouched — but the layout
+   exposes the misspeculation-recovery surface: each distinct cold block
+   directly reachable from hot code is an entry stub the MSSP recovery
+   path funnels through, priced by [Config.cold_stub_cost]. *)
+
+type split = { hot_blocks : int; cold_blocks : int; cold_entries : int }
+
+let hot_cold_split ~assume (f : Func.t) =
+  let cfg = Cfg.build f in
+  let path = Path.extract cfg ~assume in
+  let n = Array.length f.Func.blocks in
+  let on_path = Array.make n false in
+  Array.iter (fun l -> on_path.(l) <- true) path.Path.blocks;
+  let cold = ref [] in
+  for l = n - 1 downto 0 do
+    if not on_path.(l) then cold := l :: !cold
+  done;
+  let nhot = Array.length path.Path.blocks in
+  let entry_seen = Array.make n false in
+  let entries = ref 0 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          if (not on_path.(s)) && not entry_seen.(s) then begin
+            entry_seen.(s) <- true;
+            incr entries
+          end)
+        (Func.successors f.Func.blocks.(l)))
+    path.Path.blocks;
+  let stats = { hot_blocks = nhot; cold_blocks = n - nhot; cold_entries = !entries } in
+  if n = nhot then (f, stats)
+  else begin
+    let order = Array.append path.Path.blocks (Array.of_list !cold) in
+    let remap = Array.make n (-1) in
+    Array.iteri (fun new_l old_l -> remap.(old_l) <- new_l) order;
+    let blocks =
+      Array.map
+        (fun old_l ->
+          let b = f.Func.blocks.(old_l) in
+          { b with Func.term = Func.map_term_labels (fun x -> remap.(x)) b.Func.term })
+        order
+    in
+    ({ f with Func.blocks; entry = remap.(f.Func.entry) }, stats)
+  end

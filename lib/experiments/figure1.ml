@@ -1,17 +1,97 @@
+module Synth = Rs_ir.Synth
+module Program = Rs_ir.Program
+module Distill = Rs_distill.Distill
+module Check = Rs_distill.Check
+module Assumptions = Rs_distill.Assumptions
+
+(* Interprocedural distillation statistics, from a seed-derived
+   multi-function program (a counted loop calling two helpers that share
+   a callee — see {!Rs_ir.Synth.program}). *)
+type program_stats = {
+  functions : int;
+  prog_original_size : int;
+  prog_distilled_size : int;
+  inlined_calls : int;
+  hot_blocks : int;
+  cold_blocks : int;
+  cold_entries : int;
+  check : (Check.report, string) result;
+}
+
 type t = {
-  original : Rs_ir.Func.t;
-  distilled : Rs_ir.Func.t;
+  original : Program.t;
+  distilled : Program.t;
   original_size : int;
   distilled_size : int;
   verified : (int, string) result;
+  seed : int;
+  program : program_stats;
 }
 
-let run () =
-  let original, branch_assumes = Rs_ir.Synth.figure1 () in
-  let assumptions =
-    { Rs_distill.Assumptions.branches = branch_assumes; loads = [ (2, 0, 32) ] }
+(* Every 10th trial flips exactly one assumed site's input, cycling
+   through the assumed sites; the rest satisfy every assumption while
+   varying the unassumed sites and the global scratch cells. *)
+let program_prepare (region : Synth.t) (assumptions : Assumptions.t) i =
+  let mem = Array.make region.mem_size 0 in
+  let k = Array.length region.site_ids in
+  Array.iteri
+    (fun j site ->
+      mem.(j) <-
+        (match Assumptions.direction assumptions site with
+        | Some d -> if d then 1 else 0
+        | None -> (i lsr j) land 1))
+    region.site_ids;
+  (if i mod 10 = 9 then
+     let assumed = List.map fst assumptions.Assumptions.branches in
+     match assumed with
+     | [] -> ()
+     | _ ->
+       let site = List.nth assumed (i / 10 mod List.length assumed) in
+       let rec cell j = if region.site_ids.(j) = site then j else cell (j + 1) in
+       let c = cell 0 in
+       mem.(c) <- 1 - mem.(c));
+  for g = 0 to 15 do
+    mem.(k + g) <- (i * 31) + (g * 7 mod 97)
+  done;
+  mem
+
+let run_program ~seed =
+  let rng = Rs_util.Prng.create ((seed * 8191) + 3) in
+  let region = Synth.program ~rng ~helper_sites:2 ~loop_trips:3 ~first_site:0 () in
+  (* assume f1's chain and the shared callee g taken; f2's sites stay
+     residual predicted branches, so their off-path sides (and the loop
+     exit) land in the cold region *)
+  let assumptions = Assumptions.branches [ (0, true); (1, true); (4, true) ] in
+  let r = Distill.distill region.prog assumptions in
+  let check =
+    Check.check ~orig:region.prog ~distilled:r.distilled ~assumptions
+      ~prepare:(program_prepare region assumptions)
+      ~trials:200
   in
-  let r = Rs_distill.Distill.distill original assumptions in
+  ( region,
+    r,
+    {
+      functions = Program.n_funcs region.prog;
+      prog_original_size = r.original_size;
+      prog_distilled_size = r.distilled_size;
+      inlined_calls = r.stats.Distill.inlined_calls;
+      hot_blocks = r.stats.Distill.hot_blocks;
+      cold_blocks = r.stats.Distill.cold_blocks;
+      cold_entries = r.stats.Distill.cold_entries;
+      check;
+    } )
+
+let check_ok (p : program_stats) =
+  match p.check with
+  | Ok rep -> rep.Check.violated > 0 && rep.Check.detected = rep.Check.violated
+  | Error _ -> false
+
+let run (ctx : Context.t) =
+  let original, branch_assumes = Synth.figure1 () in
+  let assumptions =
+    { Assumptions.branches = branch_assumes; loads = [ (2, 0, 32) ] }
+  in
+  let r = Distill.distill original assumptions in
   let prepare i =
     let mem = Array.make 8 0 in
     mem.(0) <- 1 + (i mod 5);
@@ -23,27 +103,44 @@ let run () =
   in
   let verified =
     match
-      Rs_distill.Verify.check ~orig:original ~distilled:r.distilled ~assumptions ~prepare
+      Check.check ~orig:original ~distilled:r.distilled ~assumptions ~prepare
         ~trials:100
     with
-    | Ok rep -> Ok rep.consistent
+    | Ok rep -> Ok rep.Check.consistent
     | Error e -> Error e
   in
+  let _, _, program = run_program ~seed:ctx.Context.seed in
   {
     original;
     distilled = r.distilled;
     original_size = r.original_size;
     distilled_size = r.distilled_size;
     verified;
+    seed = ctx.Context.seed;
+    program;
   }
 
 let render t =
+  let p = t.program in
   Format.asprintf
     "Figure 1: MSSP code approximation (x.a assumed true, x.d assumed 32)@.@.--- before \
-     (%d instructions) ---@.%a@.--- after (%d instructions) ---@.%a@.%s@."
-    t.original_size Rs_ir.Func.pp t.original t.distilled_size Rs_ir.Func.pp t.distilled
+     (%d instructions) ---@.%a@.--- after (%d instructions) ---@.%a@.%s@.@.--- \
+     interprocedural distillation (seed %d) ---@.%d-function program: %d -> %d \
+     instructions; %d calls inlined; %d hot / %d cold blocks, %d cold entry \
+     stubs@.%s@."
+    t.original_size Program.pp t.original t.distilled_size Program.pp t.distilled
     (match t.verified with
     | Ok n ->
       Printf.sprintf
         "verified: distilled == original on %d assumption-consistent random inputs" n
     | Error e -> "VERIFICATION FAILED: " ^ e)
+    t.seed p.functions p.prog_original_size p.prog_distilled_size p.inlined_calls
+    p.hot_blocks p.cold_blocks p.cold_entries
+    (match p.check with
+    | Ok rep ->
+      Printf.sprintf
+        "differential check: %d trials, %d consistent (all agree), %d violated, %d \
+         detected%s"
+        rep.Check.trials rep.Check.consistent rep.Check.violated rep.Check.detected
+        (if check_ok p then "" else " (DETECTION GAP)")
+    | Error e -> "DIFFERENTIAL CHECK FAILED: " ^ e)

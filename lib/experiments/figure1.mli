@@ -3,15 +3,39 @@
     Reconstructs the paper's fragment in our IR, distils it under the
     profile-indicated assumptions (the [if (x.a)] branch is always taken;
     [x.d] is frequently 32) and prints the before/after listings, plus a
-    differential-verification verdict on assumption-consistent inputs. *)
+    differential-verification verdict on assumption-consistent inputs.
+
+    Alongside the paper fragment, a seed-derived {e multi-function}
+    program (see {!Rs_ir.Synth.program}) exercises the interprocedural
+    pipeline: call inlining along the speculated path, hot/cold
+    splitting, and the {!Rs_distill.Check} differential checker — on
+    both assumption-consistent inputs (must agree) and
+    assumption-violating inputs (divergence must be detected). *)
+
+type program_stats = {
+  functions : int;
+  prog_original_size : int;
+  prog_distilled_size : int;
+  inlined_calls : int;
+  hot_blocks : int;
+  cold_blocks : int;
+  cold_entries : int;
+  check : (Rs_distill.Check.report, string) result;
+}
 
 type t = {
-  original : Rs_ir.Func.t;
-  distilled : Rs_ir.Func.t;
+  original : Rs_ir.Program.t;
+  distilled : Rs_ir.Program.t;
   original_size : int;
   distilled_size : int;
   verified : (int, string) result;  (** [Ok trials] or the divergence. *)
+  seed : int;
+  program : program_stats;
 }
 
-val run : unit -> t
+val check_ok : program_stats -> bool
+(** True when the differential check ran clean {e and} every
+    assumption-violating trial was detected. *)
+
+val run : Context.t -> t
 val render : t -> string

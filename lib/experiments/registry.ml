@@ -45,7 +45,7 @@ let figure1 =
       name = "figure1";
       description = "Code approximation example (before/after distillation)";
       paper_ref = "Figure 1";
-      run = (fun _ctx -> Figure1.run ());
+      run = Figure1.run;
       render = Figure1.render;
       sheets =
         [
@@ -64,6 +64,46 @@ let figure1 =
                       (match t.verified with
                       | Ok n -> Printf.sprintf "%d assumption-consistent trials" n
                       | Error e -> e);
+                  ];
+                ]);
+          };
+          {
+            sheet = "program";
+            columns =
+              [
+                int "functions";
+                int "original_size";
+                int "distilled_size";
+                int "inlined_calls";
+                int "hot_blocks";
+                int "cold_blocks";
+                int "cold_entries";
+                int "check_trials";
+                int "check_consistent";
+                int "check_violated";
+                int "check_detected";
+                bool "check_ok";
+              ];
+            rows =
+              (fun (t : Figure1.t) ->
+                let p = t.program in
+                let rep f =
+                  match p.Figure1.check with Ok r -> f r | Error _ -> 0
+                in
+                [
+                  [
+                    I p.Figure1.functions;
+                    I p.Figure1.prog_original_size;
+                    I p.Figure1.prog_distilled_size;
+                    I p.Figure1.inlined_calls;
+                    I p.Figure1.hot_blocks;
+                    I p.Figure1.cold_blocks;
+                    I p.Figure1.cold_entries;
+                    I (rep (fun r -> r.Rs_distill.Check.trials));
+                    I (rep (fun r -> r.Rs_distill.Check.consistent));
+                    I (rep (fun r -> r.Rs_distill.Check.violated));
+                    I (rep (fun r -> r.Rs_distill.Check.detected));
+                    B (Figure1.check_ok p);
                   ];
                 ]);
           };

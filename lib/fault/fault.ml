@@ -129,13 +129,15 @@ let configure plan =
   Rs_util.Pool.fault_hook := hit;
   Rs_obs.Trace.fault_hook := hit;
   Rs_behavior.Trace_store.fault_hook := hit;
+  Rs_distill.Distill.fault_hook := hit;
   Atomic.set enabled_flag true
 
 let disable () =
   Atomic.set enabled_flag false;
   Rs_util.Pool.fault_hook := noop;
   Rs_obs.Trace.fault_hook := noop;
-  Rs_behavior.Trace_store.fault_hook := noop
+  Rs_behavior.Trace_store.fault_hook := noop;
+  Rs_distill.Distill.fault_hook := noop
 
 let parse_spec s =
   let parse_sites v = List.filter (fun x -> x <> "") (String.split_on_char ':' v) in

@@ -7,7 +7,8 @@
     (["cache.build"], ["cache.profile"], ["cache.run"]), the domain pool
     (["pool.task"], ["pool.worker_start"]), the trace sink
     (["trace.write"]), the packed trace store's recorder
-    (["trace_store.record"]) and the online service ({!Rs_serve},
+    (["trace_store.record"]), the distiller's pipeline passes
+    (["distill.pass"]) and the online service ({!Rs_serve},
     ["serve.accept"], ["serve.read"], ["serve.shard"]) — into raises
     and delays scheduled by a {!plan}.
 
@@ -20,10 +21,10 @@
 
     With no plan configured (the default) a site costs one atomic load.
 
-    Dependency note: {!Rs_util.Pool}, {!Rs_obs.Trace} and
-    {!Rs_behavior.Trace_store} sit {e below} this library, so they cannot
-    call it directly; each exposes a [fault_hook] ref that {!configure}
-    points at {!hit}. *)
+    Dependency note: {!Rs_util.Pool}, {!Rs_obs.Trace},
+    {!Rs_behavior.Trace_store} and {!Rs_distill.Distill} sit {e below}
+    this library, so they cannot call it directly; each exposes a
+    [fault_hook] ref that {!configure} points at {!hit}. *)
 
 type plan = {
   seed : int;  (** root of the per-[(site, key, attempt)] decision streams *)

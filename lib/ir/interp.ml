@@ -2,12 +2,10 @@ type result = { return_value : int option; dyn_instrs : int; blocks_visited : in
 
 exception Stuck of string
 
-let run ?regs ?(hook = fun ~site:_ ~taken:_ -> ()) ?(max_steps = 1_000_000) (f : Func.t)
-    ~mem =
-  let r = Array.make f.nregs 0 in
-  (match regs with
-  | Some init -> Array.blit init 0 r 0 (min (Array.length init) f.nregs)
-  | None -> ());
+let max_call_depth = 256
+
+let run ?regs ?(hook = fun ~site:_ ~taken:_ -> ()) ?(max_steps = 1_000_000)
+    (p : Program.t) ~mem =
   let mem_size = Array.length mem in
   let steps = ref 0 in
   let blocks = ref 0 in
@@ -16,39 +14,66 @@ let run ?regs ?(hook = fun ~site:_ ~taken:_ -> ()) ?(max_steps = 1_000_000) (f :
     if a < 0 || a >= mem_size then raise (Stuck (Printf.sprintf "address %d out of bounds" a));
     a
   in
-  let exec (i : Instr.t) =
-    match i with
-    | Li (rd, v) -> r.(rd) <- v
-    | Mov (rd, rs) -> r.(rd) <- r.(rs)
-    | Binop (op, rd, rs1, rs2) -> r.(rd) <- Instr.eval_binop op r.(rs1) r.(rs2)
-    | Addi (rd, rs, v) -> r.(rd) <- r.(rs) + v
-    | Cmp (c, rd, rs1, rs2) -> r.(rd) <- (if Instr.eval_cmp c r.(rs1) r.(rs2) then 1 else 0)
-    | Cmpi (c, rd, rs, v) -> r.(rd) <- (if Instr.eval_cmp c r.(rs) v then 1 else 0)
-    | Load (rd, rs, off) -> r.(rd) <- mem.(addr r.(rs) off)
-    | Store (rs1, rs2, off) -> mem.(addr r.(rs1) off) <- r.(rs2)
+  (* one frame per activation: fresh registers, arguments in r0.. *)
+  let rec call fid args depth =
+    if depth > max_call_depth then raise (Stuck "call depth exceeded");
+    let f = p.Program.funcs.(fid) in
+    let r = Array.make f.Func.nregs 0 in
+    (match args with
+    | `Seed init -> Array.blit init 0 r 0 (min (Array.length init) f.Func.nregs)
+    | `Args vs -> List.iteri (fun i v -> if i < f.Func.nregs then r.(i) <- v) vs);
+    let exec (i : Instr.t) =
+      match i with
+      | Li (rd, v) -> r.(rd) <- v
+      | Mov (rd, rs) -> r.(rd) <- r.(rs)
+      | Binop (op, rd, rs1, rs2) -> r.(rd) <- Instr.eval_binop op r.(rs1) r.(rs2)
+      | Addi (rd, rs, v) -> r.(rd) <- r.(rs) + v
+      | Cmp (c, rd, rs1, rs2) -> r.(rd) <- (if Instr.eval_cmp c r.(rs1) r.(rs2) then 1 else 0)
+      | Cmpi (c, rd, rs, v) -> r.(rd) <- (if Instr.eval_cmp c r.(rs) v then 1 else 0)
+      | Load (rd, rs, off) -> r.(rd) <- mem.(addr r.(rs) off)
+      | Store (rs1, rs2, off) -> mem.(addr r.(rs1) off) <- r.(rs2)
+    in
+    let rec go label =
+      incr blocks;
+      let b = f.Func.blocks.(label) in
+      let body_len = Array.length b.body in
+      steps := !steps + body_len + 1;
+      if !steps > max_steps then raise (Stuck "step budget exceeded");
+      for i = 0 to body_len - 1 do
+        exec b.body.(i)
+      done;
+      match b.term with
+      | Func.Jump l -> go l
+      | Func.Branch { cond; site; taken; not_taken } ->
+        let t = r.(cond) <> 0 in
+        hook ~site ~taken:t;
+        go (if t then taken else not_taken)
+      | Func.Call { callee; args; ret; next } ->
+        let vs = List.map (fun a -> r.(a)) args in
+        let rv = call callee (`Args vs) (depth + 1) in
+        (match ret with
+        | Some rd -> (
+          match rv with
+          | Some v -> r.(rd) <- v
+          | None -> raise (Stuck (Printf.sprintf "f%d returned no value" callee)))
+        | None -> ());
+        go next
+      | Func.TailCall { callee; args } ->
+        let vs = List.map (fun a -> r.(a)) args in
+        call callee (`Args vs) (depth + 1)
+      | Func.Ret reg -> (match reg with Some x -> Some r.(x) | None -> None)
+    in
+    go f.Func.entry
   in
-  let rec go label =
-    incr blocks;
-    let b = f.blocks.(label) in
-    let body_len = Array.length b.body in
-    steps := !steps + body_len + 1;
-    if !steps > max_steps then raise (Stuck "step budget exceeded");
-    for i = 0 to body_len - 1 do
-      exec b.body.(i)
-    done;
-    match b.term with
-    | Jump l -> go l
-    | Branch { cond; site; taken; not_taken } ->
-      let t = r.(cond) <> 0 in
-      hook ~site ~taken:t;
-      go (if t then taken else not_taken)
-    | Ret reg -> (match reg with Some x -> Some r.(x) | None -> None)
-  in
-  let return_value = go f.entry in
+  let init = match regs with Some a -> `Seed a | None -> `Args [] in
+  let return_value = call p.Program.entry init 0 in
   { return_value; dyn_instrs = !steps; blocks_visited = !blocks }
 
-let branch_outcomes f ~mem =
+let run_func ?regs ?hook ?max_steps f ~mem =
+  run ?regs ?hook ?max_steps (Program.of_func f) ~mem
+
+let branch_outcomes p ~mem =
   let out = ref [] in
   let hook ~site ~taken = out := (site, taken) :: !out in
-  let _ = run ~hook f ~mem in
+  let _ = run ~hook p ~mem in
   List.rev !out

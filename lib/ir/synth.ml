@@ -1,6 +1,11 @@
 module Prng = Rs_util.Prng
 
-type t = { func : Func.t; site_ids : int array; mem_size : int }
+type t = {
+  prog : Program.t;
+  site_ids : int array;
+  loop_sites : int array;
+  mem_size : int;
+}
 
 (* Register conventions inside generated regions. *)
 let r_inbase = 0 (* base of the input cells *)
@@ -112,7 +117,207 @@ let generate ~rng ?(n_sites = 4) ~first_site () =
   (match Func.validate func with
   | Ok () -> ()
   | Error e -> invalid_arg ("Synth.generate produced an invalid function: " ^ e));
-  { func; site_ids = Array.init k (fun j -> first_site + j); mem_size }
+  {
+    prog = Program.of_func func;
+    site_ids = Array.init k (fun j -> first_site + j);
+    loop_sites = [||];
+    mem_size;
+  }
+
+(* --- multi-function programs --------------------------------------------- *)
+
+(* Call-tree shape:
+
+     main ──loop──> f1 ──> g        (call, result into the accumulator)
+               └──> f2 ──tail──> g  (shared callee, tail-called)
+
+   main runs a counted loop with two loop-carried registers (the trip
+   counter and the accumulator); each helper is a chain of
+   input-controlled branch sites in the [generate] style.  The
+   accumulator only ever moves through injective affine updates
+   ([acc <- 2*acc + c], [acc <- acc + x]), and the two sides of every
+   site add constants from disjoint ranges, so flipping one assumed
+   site's outcome provably diverges the stored result — the property
+   {!Distill.Check} detection tests rest on. *)
+
+let helper_nregs = 10
+
+(* helper registers: r0 acc (arg), r1 iter (arg), r2 globals base,
+   r3 input base, r4 branch cond, r5-r8 temps, r9 mode *)
+let helper ~rng ~name ~sites ~first_cell ~gbase ~(exit : Func.block list) ~exit_label () =
+  let n = Array.length sites in
+  let blocks = ref [] in
+  for j = n - 1 downto 0 do
+    let site = sites.(j) in
+    let cell = first_cell + j in
+    let next = if j = n - 1 then exit_label else 3 * (j + 1) in
+    let join_work =
+      if j = 0 then []
+      else
+        (* mode-dependent join: folds to a constant once the previous
+           site's direction is assumed; adds the same value to both
+           differential runs unless that site was the violated one *)
+        [
+          Instr.Addi (5, 9, 1 + Prng.int rng 7);
+          Instr.Binop (Add, 0, 0, 5);
+        ]
+    in
+    let c = 17 + Prng.int rng 31 in
+    let cond_slice =
+      [
+        Instr.Load (5, 3, cell);
+        Instr.Li (6, 3);
+        Instr.Binop (Shl, 7, 5, 6);
+        Instr.Binop (Or, 7, 7, 5);
+        Instr.Addi (7, 7, c);
+        Instr.Cmpi (Ne, 4, 7, c);
+      ]
+    in
+    let live_work =
+      [ Instr.Load (8, 2, Prng.int rng n_globals); Instr.Binop (Add, 0, 0, 8) ]
+    in
+    let cond_block =
+      {
+        Func.body = Array.of_list (join_work @ cond_slice @ live_work);
+        term =
+          Func.Branch { cond = 4; site; taken = (3 * j) + 1; not_taken = (3 * j) + 2 };
+      }
+    in
+    (* the sides double the accumulator and add side-specific constants
+       from disjoint ranges (taken: [1,16] + mode 100-115; not-taken:
+       [49,80] + mode 200-215), keeping acc updates injective *)
+    let dt = 1 + Prng.int rng 16 in
+    let dn = dt + 48 + Prng.int rng 16 in
+    let mt = 100 + Prng.int rng 16 in
+    let mn = 200 + Prng.int rng 16 in
+    let side d m =
+      {
+        Func.body =
+          [|
+            Instr.Binop (Add, 0, 0, 0);
+            Instr.Addi (0, 0, d);
+            Instr.Li (9, m);
+          |];
+        term = Func.Jump next;
+      }
+    in
+    blocks := cond_block :: side dt mt :: side dn mn :: !blocks
+  done;
+  let blocks = Array.of_list (!blocks @ exit) in
+  let entry = blocks.(0) in
+  let entry =
+    {
+      entry with
+      Func.body =
+        Array.append
+          [| Instr.Li (2, gbase); Instr.Li (3, 0); Instr.Binop (Add, 0, 0, 1) |]
+          entry.Func.body;
+    }
+  in
+  let blocks = Array.mapi (fun i b -> if i = 0 then entry else b) blocks in
+  { Func.name; entry = 0; blocks; nregs = helper_nregs }
+
+let program ~rng ?(helper_sites = 2) ?(loop_trips = 3) ~first_site () =
+  if helper_sites <= 0 then invalid_arg "Synth.program: helper_sites must be positive";
+  if loop_trips <= 0 then invalid_arg "Synth.program: loop_trips must be positive";
+  let k = (2 * helper_sites) + 1 in
+  let gbase = k in
+  let out_base = k + n_globals in
+  let mem_size = out_base + 2 in
+  let loop_site = first_site + k in
+  let sites lo n = Array.init n (fun j -> first_site + lo + j) in
+  (* function indices: 0 main, 1 f1, 2 f2, 3 g *)
+  let f1 =
+    helper ~rng ~name:"f1" ~sites:(sites 0 helper_sites) ~first_cell:0 ~gbase
+      ~exit_label:(3 * helper_sites)
+      ~exit:
+        [
+          (* mode feeds the call argument so the last site's Li stays
+             live; then the shared callee refines the accumulator *)
+          {
+            Func.body = [| Instr.Binop (Add, 0, 0, 9) |];
+            term =
+              Func.Call
+                { callee = 3; args = [ 0 ]; ret = Some 0; next = (3 * helper_sites) + 1 };
+          };
+          { Func.body = [||]; term = Func.Ret (Some 0) };
+        ]
+      ()
+  in
+  let f2 =
+    helper ~rng ~name:"f2" ~sites:(sites helper_sites helper_sites)
+      ~first_cell:helper_sites ~gbase ~exit_label:(3 * helper_sites)
+      ~exit:
+        [
+          {
+            Func.body = [| Instr.Binop (Add, 0, 0, 9) |];
+            term = Func.TailCall { callee = 3; args = [ 0 ] };
+          };
+        ]
+      ()
+  in
+  let g =
+    helper ~rng ~name:"g" ~sites:(sites (2 * helper_sites) 1)
+      ~first_cell:(2 * helper_sites) ~gbase ~exit_label:3
+      ~exit:
+        [
+          {
+            Func.body = [| Instr.Binop (Add, 0, 0, 9) |];
+            term = Func.Ret (Some 0);
+          };
+        ]
+      ()
+  in
+  (* main: a counted loop, acc and counter loop-carried, calling f1 then
+     f2 per iteration; the loop branch is a real site the interpreter
+     reports, but its outcome is trip-count driven, not input-driven *)
+  let main =
+    {
+      Func.name = Printf.sprintf "main_%d" first_site;
+      entry = 0;
+      nregs = 8;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Li (2, gbase); Instr.Li (0, 0); Instr.Li (1, 0) |];
+            term = Func.Jump 1;
+          };
+          {
+            Func.body = [| Instr.Cmpi (Lt, 3, 1, loop_trips) |];
+            term = Func.Branch { cond = 3; site = loop_site; taken = 2; not_taken = 5 };
+          };
+          {
+            Func.body = [||];
+            term = Func.Call { callee = 1; args = [ 0; 1 ]; ret = Some 0; next = 3 };
+          };
+          {
+            Func.body = [||];
+            term = Func.Call { callee = 2; args = [ 0; 1 ]; ret = Some 0; next = 4 };
+          };
+          { Func.body = [| Instr.Addi (1, 1, 1) |]; term = Func.Jump 1 };
+          {
+            Func.body = [| Instr.Store (2, 0, n_globals) |];
+            term = Func.Ret (Some 0);
+          };
+        |];
+    }
+  in
+  let prog =
+    {
+      Program.name = Printf.sprintf "program_%d" first_site;
+      funcs = [| main; f1; f2; g |];
+      entry = 0;
+    }
+  in
+  (match Program.validate prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Synth.program produced an invalid program: " ^ e));
+  {
+    prog;
+    site_ids = Array.init k (fun j -> first_site + j);
+    loop_sites = [| loop_site |];
+    mem_size;
+  }
 
 let set_inputs t ~mem outcomes =
   if Array.length outcomes <> Array.length t.site_ids then
@@ -122,7 +327,7 @@ let set_inputs t ~mem outcomes =
 let run t ~outcomes =
   let mem = Array.make t.mem_size 0 in
   set_inputs t ~mem outcomes;
-  Interp.run t.func ~mem
+  Interp.run t.prog ~mem
 
 (* Figure 1(a): x is a 4-field struct at the address in r16;
    x.a (offset 0) is almost always true, x.d (offset 3) is frequently 32.
@@ -166,4 +371,4 @@ let figure1 () =
   (match Func.validate func with
   | Ok () -> ()
   | Error e -> invalid_arg ("Synth.figure1 invalid: " ^ e));
-  (func, [ (0, true) ])
+  (Program.of_func func, [ (0, true) ])

@@ -1,4 +1,4 @@
-(** Synthetic hot-region generator.
+(** Synthetic hot-region and whole-program generators.
 
     The MSSP dynamic optimizer works on hot program regions (a function
     or loop body, roughly 100 instructions in the paper).  This module
@@ -14,17 +14,44 @@
       once the branch direction is assumed.
 
     The harness drives a region by writing each site's outcome into its
-    input cell and interpreting the function. *)
+    input cell and interpreting the program.
+
+    {!generate} builds a single-function region (wrapped as a one-function
+    program); {!program} builds a multi-function program — a counted loop
+    in [main] calling two helpers that share a callee — exercising the
+    interprocedural distiller passes (inlining, hot/cold splitting). *)
 
 type t = {
-  func : Func.t;
-  site_ids : int array;  (** Global site ids, in chain order. *)
+  prog : Program.t;
+  site_ids : int array;  (** Input-controlled site ids, in chain order. *)
+  loop_sites : int array;
+      (** Loop-branch sites whose outcome is trip-count driven rather
+          than input-driven (empty for {!generate} regions). *)
   mem_size : int;  (** Memory words the region touches. *)
 }
 
 val generate : rng:Rs_util.Prng.t -> ?n_sites:int -> first_site:int -> unit -> t
-(** Build a region with [n_sites] (default 4) branch sites, numbered
-    [first_site, first_site + n_sites). *)
+(** Build a single-function region with [n_sites] (default 4) branch
+    sites, numbered [first_site, first_site + n_sites). *)
+
+val program :
+  rng:Rs_util.Prng.t ->
+  ?helper_sites:int ->
+  ?loop_trips:int ->
+  first_site:int ->
+  unit ->
+  t
+(** Build a four-function program: [main] runs a [loop_trips]-iteration
+    counted loop with a loop-carried accumulator, calling helper [f1]
+    (which calls shared callee [g]) and helper [f2] (which tail-calls
+    [g]) each iteration.  Each helper is a chain of [helper_sites]
+    (default 2) input-controlled branch sites; [g] has one.  The
+    [2*helper_sites + 1] input-controlled sites occupy
+    [first_site, first_site + k) and the loop branch uses
+    [first_site + k].  Accumulator updates are injective and the two
+    sides of every site add constants from disjoint ranges, so flipping
+    one assumed site's outcome always diverges the stored result —
+    {!Rs_distill}'s differential checker relies on this. *)
 
 val set_inputs : t -> mem:int array -> bool array -> unit
 (** Write the desired branch outcomes ([true] = taken) into the region's
@@ -33,7 +60,7 @@ val set_inputs : t -> mem:int array -> bool array -> unit
 val run : t -> outcomes:bool array -> Interp.result
 (** Interpret the region on a fresh memory with the given outcomes. *)
 
-val figure1 : unit -> Func.t * (int * bool) list
+val figure1 : unit -> Program.t * (int * bool) list
 (** The paper's Figure 1(a) fragment — a biased [if (x.a)] guarding a
     compare against a frequently-constant field — together with the
     assumption set of Figure 1(b) ([(site, direction)] pairs). *)

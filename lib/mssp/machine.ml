@@ -187,6 +187,8 @@ let run ?(config = Config.default) (inst : Workload.instance) ~seed ~params =
       master_clock :=
         verify_done
         +. float_of_int config.recovery_penalty
+        +. float_of_int
+             (config.cold_stub_cost * Region_model.Version.cold_entries version)
         +. (float_of_int orig_len /. lead_ipc)
     end
     else begin

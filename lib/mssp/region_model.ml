@@ -4,15 +4,15 @@ module Assumptions = Rs_distill.Assumptions
 
 let outcomes_array k packed = Array.init k (fun j -> packed land (1 lsl j) <> 0)
 
-(* Interpret [func] with the region's input cells set from the packed
+(* Interpret [prog] with the region's input cells set from the packed
    outcome vector, returning (dyn length, branches executed). *)
-let measure (region : Synth.t) func packed =
+let measure (region : Synth.t) prog packed =
   let mem = Array.make region.mem_size 0 in
   let k = Array.length region.site_ids in
   Synth.set_inputs region ~mem (outcomes_array k packed);
   let branches = ref [] in
   let hook ~site ~taken = branches := (site, taken) :: !branches in
-  let r = Interp.run ~hook func ~mem in
+  let r = Interp.run ~hook prog ~mem in
   (r.dyn_instrs, Array.of_list (List.rev !branches))
 
 module Version = struct
@@ -24,6 +24,7 @@ module Version = struct
     branch_counts : int array;
     violated_mask : int;  (** Bits of assumed sites. *)
     assumed_bits : int;  (** Expected values of those bits. *)
+    stats : Rs_distill.Distill.stats;
   }
 
   let assumptions v = v.assumptions
@@ -31,6 +32,10 @@ module Version = struct
   let static_distilled v = v.static_distilled
   let length v ~outcomes = v.lengths.(outcomes)
   let violated v ~outcomes = outcomes land v.violated_mask <> v.assumed_bits
+
+  let inlined_calls v = v.stats.Rs_distill.Distill.inlined_calls
+  let cold_entries v = v.stats.Rs_distill.Distill.cold_entries
+  let stats v = v.stats
 
   let violations v ~outcomes =
     let diff = (outcomes land v.violated_mask) lxor v.assumed_bits in
@@ -55,13 +60,13 @@ let create region =
   let orig_lengths = Array.make n 0 in
   let orig_branches = Array.make n [||] in
   for v = 0 to n - 1 do
-    let len, brs = measure region region.Synth.func v in
+    let len, brs = measure region region.Synth.prog v in
     orig_lengths.(v) <- len;
     orig_branches.(v) <- brs
   done;
   {
     region;
-    cache = Rs_distill.Distill.Cache.create region.Synth.func;
+    cache = Rs_distill.Distill.Cache.create region.Synth.prog;
     k;
     orig_lengths;
     orig_branches;
@@ -112,6 +117,7 @@ let version t assumptions =
         branch_counts;
         violated_mask;
         assumed_bits;
+        stats = result.stats;
       }
     in
     Hashtbl.add t.versions key v;

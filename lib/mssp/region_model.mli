@@ -45,6 +45,15 @@ module Version : sig
 
   val branches_executed : v -> outcomes:int -> int
   (** Branch instructions remaining on the distilled path. *)
+
+  val inlined_calls : v -> int
+  (** Call sites inlined along the speculated path. *)
+
+  val cold_entries : v -> int
+  (** Entry stubs into the cold region — misspeculation recovery
+      funnels through them, priced by [Config.cold_stub_cost]. *)
+
+  val stats : v -> Rs_distill.Distill.stats
 end
 
 val version : t -> Rs_distill.Assumptions.t -> Version.v

@@ -4,7 +4,8 @@ module Interp = Rs_ir.Interp
 module A = Rs_distill.Assumptions
 module P = Rs_distill.Passes
 module D = Rs_distill.Distill
-module V = Rs_distill.Verify
+module V = Rs_distill.Check
+module Program = Rs_ir.Program
 
 (* --- assumptions -------------------------------------------------------- *)
 
@@ -193,7 +194,7 @@ let test_dce_keeps_stores_and_transitive_uses () =
 let test_dce_path_sensitivity_after_approx () =
   (* the figure-1 pattern: r1's first definition is dead only once the
      branch forcing the redefinition is assumed *)
-  let f, _ = Rs_ir.Synth.figure1 () in
+  let f = Program.entry_func (fst (Rs_ir.Synth.figure1 ())) in
   let before = P.dead_code_elimination f in
   Alcotest.(check int) "x.b load live in original" (Func.static_size f)
     (Func.static_size before);
@@ -299,32 +300,33 @@ let test_block_merging_via_pipeline () =
     Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create 4) ~n_sites:3 ~first_site:0 ()
   in
   let a = A.branches [ (0, true); (1, false); (2, true) ] in
-  let d = D.distill region.func a in
-  Alcotest.(check int) "single block remains" 1 (Array.length d.distilled.blocks)
+  let d = D.distill region.prog a in
+  Alcotest.(check int) "single block remains" 1
+    (Array.length (Program.entry_func d.distilled).Func.blocks)
 
 (* --- the full pipeline --------------------------------------------------- *)
 
 let test_figure1_distillation () =
-  let f, branch_assumes = Rs_ir.Synth.figure1 () in
+  let p, branch_assumes = Rs_ir.Synth.figure1 () in
   let a = { A.branches = branch_assumes; loads = [ (2, 0, 32) ] } in
-  let r = D.distill f a in
+  let r = D.distill p a in
   Alcotest.(check bool) "meaningfully smaller" true
     (r.distilled_size <= r.original_size - 4);
   (* the only remaining branch is site 1, and the compare is against an
      immediate 32 (the paper's cmplt r1, 32) *)
-  Alcotest.(check (list int)) "site 0 removed" [ 1 ] (Func.sites r.distilled);
+  Alcotest.(check (list int)) "site 0 removed" [ 1 ] (Program.sites r.distilled);
   let found_cmpi32 = ref false in
   Array.iter
     (fun (b : Func.block) ->
       Array.iter
         (function Instr.Cmpi (Lt, _, _, 32) -> found_cmpi32 := true | _ -> ())
         b.body)
-    r.distilled.blocks;
+    (Program.entry_func r.distilled).Func.blocks;
   Alcotest.(check bool) "cmplt r1, 32 present" true !found_cmpi32
 
 let test_cache () =
-  let f, _ = Rs_ir.Synth.figure1 () in
-  let cache = D.Cache.create f in
+  let p, _ = Rs_ir.Synth.figure1 () in
+  let cache = D.Cache.create p in
   let a = A.branches [ (0, true) ] in
   let r1 = D.Cache.get cache a in
   let r2 = D.Cache.get cache a in
@@ -334,10 +336,10 @@ let test_cache () =
   Alcotest.(check int) "two entries" 2 (D.Cache.entries cache)
 
 let test_verify_catches_wrong_code () =
-  let f, _ = Rs_ir.Synth.figure1 () in
+  let p, _ = Rs_ir.Synth.figure1 () in
   (* distill under a WRONG direction, then verify against inputs that
      satisfy the right direction: must diverge *)
-  let wrong = D.distill f (A.branches [ (0, false) ]) in
+  let wrong = D.distill p (A.branches [ (0, false) ]) in
   let prepare i =
     let mem = Array.make 8 0 in
     mem.(0) <- 1;
@@ -346,7 +348,7 @@ let test_verify_catches_wrong_code () =
     mem
   in
   match
-    V.check ~orig:f ~distilled:wrong.distilled
+    V.check ~orig:p ~distilled:wrong.distilled
       ~assumptions:(A.branches [ (0, true) ])
       ~prepare ~trials:20
   with
@@ -354,8 +356,8 @@ let test_verify_catches_wrong_code () =
   | Ok _ -> Alcotest.fail "verification failed to detect wrong distillation"
 
 let test_verify_skips_inconsistent_trials () =
-  let f, _ = Rs_ir.Synth.figure1 () in
-  let d = D.distill f (A.branches [ (0, true) ]) in
+  let p, _ = Rs_ir.Synth.figure1 () in
+  let d = D.distill p (A.branches [ (0, true) ]) in
   (* half the trials violate the assumption; they must not be counted *)
   let prepare i =
     let mem = Array.make 8 0 in
@@ -364,13 +366,14 @@ let test_verify_skips_inconsistent_trials () =
     mem
   in
   match
-    V.check ~orig:f ~distilled:d.distilled
+    V.check ~orig:p ~distilled:d.distilled
       ~assumptions:(A.branches [ (0, true) ])
       ~prepare ~trials:40
   with
   | Ok rep ->
     Alcotest.(check int) "all trials ran" 40 rep.trials;
-    Alcotest.(check int) "half consistent" 20 rep.consistent
+    Alcotest.(check int) "half consistent" 20 rep.consistent;
+    Alcotest.(check int) "half violated" 20 rep.violated
   | Error e -> Alcotest.fail e
 
 (* Differential property: on synthetic regions, distilled == original for
@@ -390,7 +393,7 @@ let qcheck_distill_equivalence =
           [ 0; 1; 2; 3 ]
       in
       let a = A.branches branches in
-      let d = D.distill region.func a in
+      let d = D.distill region.prog a in
       (* check all 16 outcome vectors consistent with the assumptions *)
       let ok = ref true in
       for v = 0 to 15 do
@@ -407,7 +410,7 @@ let qcheck_distill_equivalence =
             mem_o.(g) <- Rs_util.Prng.int rng 1000
           done;
           let mem_d = Array.copy mem_o in
-          let ro = Interp.run region.func ~mem:mem_o in
+          let ro = Interp.run region.prog ~mem:mem_o in
           let rd = Interp.run d.distilled ~mem:mem_d in
           if ro.return_value <> rd.return_value || mem_o <> mem_d then ok := false
         end
@@ -423,7 +426,7 @@ let qcheck_pipeline_preserves_semantics =
       let region =
         Rs_ir.Synth.generate ~rng:(Rs_util.Prng.create seed) ~n_sites:4 ~first_site:0 ()
       in
-      let opt = P.pipeline A.empty region.func in
+      let opt = P.pipeline A.empty (Program.entry_func region.prog) in
       let outcomes = Array.init 4 (fun j -> v land (1 lsl j) <> 0) in
       let mem_o = Array.make region.mem_size 0 in
       Rs_ir.Synth.set_inputs region ~mem:mem_o outcomes;
@@ -432,8 +435,8 @@ let qcheck_pipeline_preserves_semantics =
         mem_o.(g) <- Rs_util.Prng.int rng 1000
       done;
       let mem_d = Array.copy mem_o in
-      let ro = Interp.run region.func ~mem:mem_o in
-      let rd = Interp.run opt ~mem:mem_d in
+      let ro = Interp.run region.prog ~mem:mem_o in
+      let rd = Interp.run_func opt ~mem:mem_d in
       ro.return_value = rd.return_value && mem_o = mem_d)
 
 let qcheck_pipeline_idempotent =
@@ -449,9 +452,9 @@ let qcheck_pipeline_idempotent =
           [ 0; 1; 2; 3 ]
       in
       let a = A.branches branches in
-      let once = (D.distill region.func a).distilled in
+      let once = (D.distill region.prog a).distilled in
       let twice = (D.distill once A.empty).distilled in
-      Func.static_size twice = Func.static_size once)
+      Program.static_size twice = Program.static_size once)
 
 let qcheck_distill_never_grows =
   QCheck.Test.make ~name:"distillation never grows the code" ~count:60
@@ -465,8 +468,144 @@ let qcheck_distill_never_grows =
           (fun j -> if assume_mask land (1 lsl j) <> 0 then [ (j, true) ] else [])
           [ 0; 1; 2; 3 ]
       in
-      let d = D.distill region.func (A.branches branches) in
+      let d = D.distill region.prog (A.branches branches) in
       d.distilled_size <= d.original_size)
+
+
+(* --- interprocedural: inlining, splitting, pruning ------------------------ *)
+
+let multi_region seed =
+  Rs_ir.Synth.program ~rng:(Rs_util.Prng.create seed) ~helper_sites:2 ~loop_trips:2
+    ~first_site:0 ()
+
+let assume_of a site = A.direction a site
+
+let test_inline_calls () =
+  let region = multi_region 5 in
+  let a = A.branches [ (0, true); (1, true); (4, true) ] in
+  let inlined, count = P.inline_calls ~assume:(assume_of a) region.prog in
+  Alcotest.(check bool) "inlined at least one call" true (count >= 1);
+  Alcotest.(check bool) "still valid" true (Result.is_ok (Program.validate inlined));
+  (* inlining is exact: equivalence must hold on EVERY input, assumptions
+     satisfied or not *)
+  for v = 0 to 31 do
+    let outcomes = Array.init 5 (fun j -> v land (1 lsl j) <> 0) in
+    let mem_o = Array.make region.mem_size 0 in
+    Rs_ir.Synth.set_inputs region ~mem:mem_o outcomes;
+    for g = 5 to region.mem_size - 3 do
+      mem_o.(g) <- (v * 37) + g
+    done;
+    let mem_i = Array.copy mem_o in
+    let ro = Interp.run region.prog ~mem:mem_o in
+    let ri = Interp.run inlined ~mem:mem_i in
+    Alcotest.(check (option int))
+      (Printf.sprintf "return equal on vector %d" v)
+      ro.Interp.return_value ri.Interp.return_value;
+    Alcotest.(check bool) (Printf.sprintf "memory equal on vector %d" v) true (mem_o = mem_i)
+  done
+
+let test_inline_budget_zero () =
+  let region = multi_region 5 in
+  let p, count = P.inline_calls ~budget:0 ~assume:(fun _ -> None) region.prog in
+  Alcotest.(check int) "no inlining under zero budget" 0 count;
+  Alcotest.(check bool) "program untouched" true (p == region.prog)
+
+let test_hot_cold_split () =
+  let f', split = P.hot_cold_split ~assume:(fun _ -> Some true) branchy in
+  Alcotest.(check int) "hot blocks" 3 split.P.hot_blocks;
+  Alcotest.(check int) "cold blocks" 1 split.P.cold_blocks;
+  Alcotest.(check int) "cold entries" 1 split.P.cold_entries;
+  Alcotest.(check int) "pure reorder keeps size" (Func.static_size branchy)
+    (Func.static_size f');
+  (* layout must not change behaviour in either branch direction *)
+  List.iter
+    (fun x ->
+      let mem_o = Array.make 4 x in
+      let mem_s = Array.copy mem_o in
+      let ro = Interp.run_func branchy ~mem:mem_o in
+      let rs = Interp.run_func f' ~mem:mem_s in
+      Alcotest.(check (option int)) "return equal" ro.Interp.return_value
+        rs.Interp.return_value;
+      Alcotest.(check bool) "memory equal" true (mem_o = mem_s))
+    [ 0; 1 ];
+  (* a fully hot function splits to the identity *)
+  let g, split0 = P.hot_cold_split ~assume:(fun _ -> None) branchy in
+  Alcotest.(check int) "static prediction leaves one cold block" 1 split0.P.cold_blocks;
+  ignore g
+
+let test_prune_dead_funcs () =
+  let region = multi_region 9 in
+  let a = A.branches [ (0, true); (1, true); (4, true) ] in
+  (* inline everything reachable: helpers become dead once no call
+     remains, and pruning must compact them away *)
+  let inlined, count = P.inline_calls ~budget:32 ~assume:(assume_of a) region.prog in
+  Alcotest.(check bool) "all call sites inlined" true (count >= 4);
+  let pruned = P.prune_dead_funcs inlined in
+  Alcotest.(check int) "only the entry survives" 1 (Program.n_funcs pruned);
+  Alcotest.(check bool) "still valid" true (Result.is_ok (Program.validate pruned));
+  let mem_o = Array.make region.mem_size 0 in
+  Rs_ir.Synth.set_inputs region ~mem:mem_o (Array.make 5 true);
+  let mem_p = Array.copy mem_o in
+  let ro = Interp.run region.prog ~mem:mem_o in
+  let rp = Interp.run pruned ~mem:mem_p in
+  Alcotest.(check (option int)) "semantics survive pruning" ro.Interp.return_value
+    rp.Interp.return_value;
+  (* a program with every function reachable is returned physically intact *)
+  Alcotest.(check bool) "identity when nothing is dead" true
+    (P.prune_dead_funcs region.prog == region.prog)
+
+let test_distill_program_stats () =
+  let region = multi_region 11 in
+  let a = A.branches [ (0, true); (1, true); (4, true) ] in
+  let r = D.distill region.prog a in
+  Alcotest.(check bool) "valid distilled program" true
+    (Result.is_ok (Program.validate r.distilled));
+  Alcotest.(check bool) "inlined calls counted" true (r.stats.D.inlined_calls >= 1);
+  Alcotest.(check bool) "hot blocks counted" true (r.stats.D.hot_blocks >= 1);
+  Alcotest.(check bool) "split covers the entry function" true
+    (r.stats.D.hot_blocks + r.stats.D.cold_blocks
+    = Array.length (Program.entry_func r.distilled).Func.blocks);
+  Alcotest.(check bool) "never grows" true (r.distilled_size <= r.original_size)
+
+(* The headline acceptance property: over many random multi-function
+   programs and inputs (25 programs x 48 memories = 1200 pairs), the
+   distilled code agrees with the original whenever the assumptions
+   hold, and every single-site violation is observably detected. *)
+let qcheck_program_differential =
+  QCheck.Test.make ~name:"interprocedural distillation: agree when consistent, detect violations"
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let region = multi_region (seed + 1) in
+      let a = A.branches [ (0, true); (1, true); (4, true) ] in
+      let d = D.distill region.prog a in
+      let prepare i =
+        let mem = Array.make region.mem_size 0 in
+        Array.iteri
+          (fun j site ->
+            mem.(j) <-
+              (match A.direction a site with
+              | Some dir -> if dir then 1 else 0
+              | None -> (i lsr j) land 1))
+          region.site_ids;
+        (* every 8th memory flips exactly one assumed site's input *)
+        (if i mod 8 = 7 then
+           let cell = [| 0; 1; 4 |].((i / 8) mod 3) in
+           mem.(cell) <- 1 - mem.(cell));
+        for g = 0 to 15 do
+          mem.(5 + g) <- (seed * 17) + (i * 31) + g
+        done;
+        mem
+      in
+      match
+        V.check ~orig:region.prog ~distilled:d.distilled ~assumptions:a ~prepare
+          ~trials:48
+      with
+      | Ok rep ->
+        rep.V.trials = 48
+        && rep.V.consistent + rep.V.violated = 48
+        && rep.V.violated > 0
+        && rep.V.detected = rep.V.violated
+      | Error _ -> false)
 
 let suite =
   [
@@ -490,6 +629,12 @@ let suite =
     Alcotest.test_case "verify catches wrong code" `Quick test_verify_catches_wrong_code;
     Alcotest.test_case "verify skips inconsistent trials" `Quick
       test_verify_skips_inconsistent_trials;
+    Alcotest.test_case "inline calls (exact)" `Quick test_inline_calls;
+    Alcotest.test_case "inline budget zero" `Quick test_inline_budget_zero;
+    Alcotest.test_case "hot/cold split" `Quick test_hot_cold_split;
+    Alcotest.test_case "prune dead funcs" `Quick test_prune_dead_funcs;
+    Alcotest.test_case "distill program stats" `Quick test_distill_program_stats;
+    QCheck_alcotest.to_alcotest qcheck_program_differential;
     QCheck_alcotest.to_alcotest qcheck_distill_equivalence;
     QCheck_alcotest.to_alcotest qcheck_distill_never_grows;
     QCheck_alcotest.to_alcotest qcheck_pipeline_preserves_semantics;

@@ -59,12 +59,22 @@ let test_context () =
 (* --- figure 1 ------------------------------------------------------------ *)
 
 let test_figure1 () =
-  let t = E.Figure1.run () in
+  let t = E.Figure1.run ctx in
   (match t.verified with
   | Ok n -> Alcotest.(check bool) "verified on consistent inputs" true (n > 0)
   | Error e -> Alcotest.fail e);
   Alcotest.(check bool) "smaller" true (t.distilled_size < t.original_size);
-  Alcotest.(check bool) "render mentions 32" true (contains (E.Figure1.render t) "32")
+  Alcotest.(check bool) "render mentions 32" true (contains (E.Figure1.render t) "32");
+  (* the interprocedural companion program: real inlining, a real split,
+     and a clean differential check with every violation detected *)
+  let p = t.program in
+  Alcotest.(check int) "four functions" 4 p.functions;
+  Alcotest.(check bool) "inlined at least one call" true (p.inlined_calls >= 1);
+  Alcotest.(check bool) "has a cold region" true
+    (p.cold_blocks >= 1 && p.cold_entries >= 1);
+  Alcotest.(check bool) "check ok" true (E.Figure1.check_ok p);
+  Alcotest.(check bool) "render mentions inlining" true
+    (contains (E.Figure1.render t) "calls inlined")
 
 (* --- figure 2 ------------------------------------------------------------ *)
 

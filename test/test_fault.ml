@@ -194,6 +194,42 @@ let test_stress_jobs4 () =
   Alcotest.(check string) "no deadlock, no stale results, byte-identical output" clean faulted;
   E.Cache.reset ()
 
+(* --- distiller pass faults -------------------------------------------------- *)
+
+module D = Rs_distill.Distill
+module A = Rs_distill.Assumptions
+
+(* The distiller consults the "distill.pass" site before every pass
+   (keyed by pass name) and retries the whole distillation up to its
+   retry limit.  With rate=1.0 and max_raises=2, the four pass keys fail
+   twice each, so the eighth retry is the first clean run: raising the
+   limit to 9 must recover with an identical result, while the default
+   limit of 3 lets the fault escape after exactly three attempts. *)
+let test_distill_pass_bounded_retry () =
+  let region =
+    Rs_ir.Synth.program ~rng:(Rs_util.Prng.create 6) ~helper_sites:2 ~loop_trips:2
+      ~first_site:0 ()
+  in
+  let a = A.branches [ (0, true); (1, true); (4, true) ] in
+  let clean = D.distill region.prog a in
+  let pp r = Format.asprintf "%a" Rs_ir.Program.pp r.D.distilled in
+  D.set_retry_limit 9;
+  Fun.protect ~finally:(fun () -> D.set_retry_limit 3) @@ fun () ->
+  with_faults "seed=12,rate=1.0,max_raises=2,sites=distill.pass" (fun () ->
+      let before = Fault.injected () in
+      let r = D.distill region.prog a in
+      Alcotest.(check int) "two raises per pass key" 8 (Fault.injected () - before);
+      Alcotest.(check string) "identical result once retries succeed" (pp clean) (pp r));
+  D.set_retry_limit 3;
+  with_faults "seed=12,rate=1.0,sites=distill.pass" (fun () ->
+      let before = Fault.injected () in
+      (match D.distill region.prog a with
+      | _ -> Alcotest.fail "expected the injected fault to escape"
+      | exception Fault.Injected { site; _ } ->
+        Alcotest.(check string) "site" "distill.pass" site);
+      Alcotest.(check int) "retry bounded at the limit" (D.retry_limit ())
+        (Fault.injected () - before))
+
 (* --- pool lifecycle and degradation ---------------------------------------- *)
 
 let test_pool_closed_raises () =
@@ -309,6 +345,7 @@ let suite =
     Alcotest.test_case "per-key raise budget" `Quick test_raise_budget;
     Alcotest.test_case "failed slot is not poisoned" `Quick test_failed_slot_not_poisoned;
     Alcotest.test_case "reset during compute" `Quick test_reset_during_compute;
+    Alcotest.test_case "distill.pass bounded retry" `Quick test_distill_pass_bounded_retry;
     Alcotest.test_case "retry byte-identity (jobs=1)" `Slow test_retry_byte_identity;
     Alcotest.test_case "fault stress (jobs=4)" `Slow test_stress_jobs4;
     Alcotest.test_case "closed pool raises" `Quick test_pool_closed_raises;

@@ -97,7 +97,69 @@ let test_entry entry () =
     (E.Registry.name entry ^ ".txt")
     (E.Registry.execute (Lazy.force shared_ctx) entry).text
 
+(* The IR pretty-printers are part of every experiment's rendered output,
+   so their exact spelling is pinned too: a hand-written two-function
+   program covering every instruction form and every terminator, printed
+   through Program.pp (which goes through Func.pp and Instr.pp). *)
+let pp_fixture =
+  let open Rs_ir in
+  let main =
+    {
+      Func.name = "main";
+      entry = 0;
+      nregs = 6;
+      blocks =
+        [|
+          {
+            Func.body =
+              [|
+                Instr.Li (0, 7);
+                Instr.Mov (1, 0);
+                Instr.Binop (Add, 2, 0, 1);
+                Instr.Binop (Mul, 2, 2, 2);
+                Instr.Binop (Xor, 3, 2, 0);
+                Instr.Binop (Shl, 3, 3, 1);
+                Instr.Addi (4, 3, -5);
+                Instr.Cmp (Lt, 5, 4, 2);
+                Instr.Cmpi (Ge, 5, 4, 100);
+                Instr.Load (1, 0, 4);
+                Instr.Store (0, 1, 8);
+              |];
+            term = Func.Branch { cond = 5; site = 3; taken = 1; not_taken = 2 };
+          };
+          {
+            Func.body = [||];
+            term = Func.Call { callee = 1; args = [ 2; 4 ]; ret = Some 0; next = 3 };
+          };
+          { Func.body = [||]; term = Func.TailCall { callee = 1; args = [ 4; 2 ] } };
+          { Func.body = [||]; term = Func.Jump 4 };
+          { Func.body = [||]; term = Func.Ret (Some 0) };
+        |];
+    }
+  in
+  let max2 =
+    {
+      Func.name = "max2";
+      entry = 0;
+      nregs = 3;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Cmp (Gt, 2, 0, 1) |];
+            term = Func.Branch { cond = 2; site = 9; taken = 1; not_taken = 2 };
+          };
+          { Func.body = [||]; term = Func.Ret (Some 0) };
+          { Func.body = [||]; term = Func.Ret (Some 1) };
+        |];
+    }
+  in
+  { Program.name = "pp_fixture"; funcs = [| main; max2 |]; entry = 0 }
+
+let test_ir_pp () =
+  check_golden "ir_pp.txt" (Format.asprintf "%a" Rs_ir.Program.pp pp_fixture)
+
 let suite =
   List.map
     (fun e -> Alcotest.test_case (E.Registry.name e ^ " golden") `Slow (test_entry e))
     E.Registry.all
+  @ [ Alcotest.test_case "ir pretty-printer golden" `Quick test_ir_pp ]

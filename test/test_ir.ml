@@ -1,5 +1,8 @@
 module Instr = Rs_ir.Instr
 module Func = Rs_ir.Func
+module Program = Rs_ir.Program
+module Cfg = Rs_ir.Cfg
+module Path = Rs_ir.Path
 module Interp = Rs_ir.Interp
 module Synth = Rs_ir.Synth
 
@@ -94,7 +97,7 @@ let test_interp_arith () =
         |];
     }
   in
-  let r = Interp.run f ~mem:(Array.make 4 0) in
+  let r = Interp.run_func f ~mem:(Array.make 4 0) in
   Alcotest.(check (option int)) "6*7+100" (Some 142) r.return_value;
   Alcotest.(check int) "dyn instrs" 5 r.dyn_instrs
 
@@ -116,11 +119,11 @@ let test_interp_memory_and_branch () =
     }
   in
   let mem = [| 50; 0 |] in
-  let outcomes = Interp.branch_outcomes f ~mem in
+  let outcomes = Interp.branch_outcomes (Program.of_func f) ~mem in
   Alcotest.(check bool) "taken when >10" true (outcomes = [ (7, true) ]);
   Alcotest.(check int) "taken side stored" 111 mem.(1);
   let mem = [| 5; 0 |] in
-  let r = Interp.run f ~mem in
+  let r = Interp.run_func f ~mem in
   Alcotest.(check (option int)) "not-taken value" (Some 222) r.return_value;
   Alcotest.(check int) "not-taken side stored" 222 mem.(1)
 
@@ -134,7 +137,7 @@ let test_interp_oob () =
     }
   in
   Alcotest.check_raises "out of bounds" (Interp.Stuck "address 99 out of bounds") (fun () ->
-      ignore (Interp.run f ~mem:(Array.make 4 0)))
+      ignore (Interp.run_func f ~mem:(Array.make 4 0)))
 
 let test_interp_step_budget () =
   let f =
@@ -146,7 +149,7 @@ let test_interp_step_budget () =
     }
   in
   Alcotest.check_raises "budget" (Interp.Stuck "step budget exceeded") (fun () ->
-      ignore (Interp.run ~max_steps:100 f ~mem:(Array.make 1 0)))
+      ignore (Interp.run_func ~max_steps:100 f ~mem:(Array.make 1 0)))
 
 let test_interp_initial_regs () =
   let f =
@@ -157,7 +160,7 @@ let test_interp_initial_regs () =
       blocks = [| { Func.body = [| Instr.Addi (1, 0, 1) |]; term = Func.Ret (Some 1) } |];
     }
   in
-  let r = Interp.run ~regs:[| 41 |] f ~mem:(Array.make 1 0) in
+  let r = Interp.run_func ~regs:[| 41 |] f ~mem:(Array.make 1 0) in
   Alcotest.(check (option int)) "seeded register" (Some 42) r.return_value
 
 (* --- synthetic regions --------------------------------------------------- *)
@@ -165,8 +168,8 @@ let test_interp_initial_regs () =
 let test_synth_valid_and_deterministic () =
   let make () = Synth.generate ~rng:(Rs_util.Prng.create 5) ~n_sites:4 ~first_site:12 () in
   let a = make () and b = make () in
-  Alcotest.(check bool) "valid" true (Result.is_ok (Func.validate a.func));
-  Alcotest.(check int) "same size" (Func.static_size a.func) (Func.static_size b.func);
+  Alcotest.(check bool) "valid" true (Result.is_ok (Program.validate a.prog));
+  Alcotest.(check int) "same size" (Program.static_size a.prog) (Program.static_size b.prog);
   Alcotest.(check (array int)) "site ids" [| 12; 13; 14; 15 |] a.site_ids
 
 let test_synth_outcomes_respected () =
@@ -176,7 +179,7 @@ let test_synth_outcomes_respected () =
     (fun outcomes ->
       let mem = Array.make region.mem_size 0 in
       Synth.set_inputs region ~mem outcomes;
-      let seen = Rs_ir.Interp.branch_outcomes region.func ~mem in
+      let seen = Rs_ir.Interp.branch_outcomes region.prog ~mem in
       Alcotest.(check int) "all sites executed" 4 (List.length seen);
       List.iteri
         (fun j (site, taken) ->
@@ -193,10 +196,273 @@ let test_synth_paths_differ () =
   Alcotest.(check bool) "lengths positive" true (r_tt.dyn_instrs > 20 && r_ff.dyn_instrs > 20)
 
 let test_figure1_shape () =
-  let f, assumes = Synth.figure1 () in
-  Alcotest.(check bool) "valid" true (Result.is_ok (Func.validate f));
-  Alcotest.(check (list int)) "two sites" [ 0; 1 ] (Func.sites f);
+  let p, assumes = Synth.figure1 () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Program.validate p));
+  Alcotest.(check (list int)) "two sites" [ 0; 1 ] (Program.sites p);
   Alcotest.(check bool) "x.a assumed taken" true (assumes = [ (0, true) ])
+
+
+(* --- programs, calls, CFG, paths ----------------------------------------- *)
+
+(* main calls add(a, b) twice; add returns a+b+1 via a tail call to inc *)
+let call_prog =
+  let main =
+    {
+      Func.name = "main";
+      entry = 0;
+      nregs = 4;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Li (0, 10); Instr.Li (1, 4) |];
+            term = Func.Call { callee = 1; args = [ 0; 1 ]; ret = Some 2; next = 1 };
+          };
+          {
+            Func.body = [||];
+            term = Func.Call { callee = 1; args = [ 2; 1 ]; ret = Some 3; next = 2 };
+          };
+          {
+            Func.body = [| Instr.Li (1, 0); Instr.Store (1, 3, 0) |];
+            term = Func.Ret (Some 3);
+          };
+        |];
+    }
+  in
+  let add =
+    {
+      Func.name = "add";
+      entry = 0;
+      nregs = 3;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Binop (Add, 2, 0, 1) |];
+            term = Func.TailCall { callee = 2; args = [ 2 ] };
+          };
+        |];
+    }
+  in
+  let inc =
+    {
+      Func.name = "inc";
+      entry = 0;
+      nregs = 1;
+      blocks = [| { Func.body = [| Instr.Addi (0, 0, 1) |]; term = Func.Ret (Some 0) } |];
+    }
+  in
+  { Program.name = "callprog"; funcs = [| main; add; inc |]; entry = 0 }
+
+let test_program_validate () =
+  Alcotest.(check bool) "valid" true (Result.is_ok (Program.validate call_prog));
+  let bad_callee =
+    Program.with_entry_func call_prog
+      (Func.map_blocks
+         (fun _ b ->
+           match b.Func.term with
+           | Func.Call c -> { b with Func.term = Func.Call { c with callee = 9 } }
+           | _ -> b)
+         (Program.entry_func call_prog))
+  in
+  Alcotest.(check bool) "callee range" true (Result.is_error (Program.validate bad_callee));
+  Alcotest.(check int) "n_funcs" 3 (Program.n_funcs call_prog);
+  Alcotest.(check int)
+    "size sums functions"
+    (Func.static_size call_prog.Program.funcs.(0)
+    + Func.static_size call_prog.Program.funcs.(1)
+    + Func.static_size call_prog.Program.funcs.(2))
+    (Program.static_size call_prog)
+
+let test_interp_calls () =
+  (* add(10, 4) = 15 (tail inc), then add(15, 4) = 20 *)
+  let mem = Array.make 2 0 in
+  let r = Interp.run call_prog ~mem in
+  Alcotest.(check (option int)) "nested calls + tail call" (Some 20) r.return_value;
+  Alcotest.(check int) "store went to mem via fresh frames" 20 mem.(0)
+
+let test_interp_call_frames_isolated () =
+  (* the callee clobbers its own r0/r1; the caller's survive *)
+  let callee =
+    {
+      Func.name = "clobber";
+      entry = 0;
+      nregs = 2;
+      blocks =
+        [|
+          { Func.body = [| Instr.Li (0, 999); Instr.Li (1, 999) |]; term = Func.Ret (Some 0) };
+        |];
+    }
+  in
+  let main =
+    {
+      Func.name = "main";
+      entry = 0;
+      nregs = 3;
+      blocks =
+        [|
+          {
+            Func.body = [| Instr.Li (0, 1); Instr.Li (1, 2) |];
+            term = Func.Call { callee = 1; args = []; ret = Some 2; next = 1 };
+          };
+          {
+            Func.body = [| Instr.Binop (Add, 0, 0, 1) |];
+            term = Func.Ret (Some 0);
+          };
+        |];
+    }
+  in
+  let p = { Program.name = "frames"; funcs = [| main; callee |]; entry = 0 } in
+  let r = Interp.run p ~mem:(Array.make 1 0) in
+  Alcotest.(check (option int)) "caller registers intact" (Some 3) r.return_value
+
+let test_interp_call_depth () =
+  let self =
+    {
+      Func.name = "rec";
+      entry = 0;
+      nregs = 1;
+      blocks = [| { Func.body = [||]; term = Func.TailCall { callee = 0; args = [] } } |];
+    }
+  in
+  let p = { Program.name = "rec"; funcs = [| self |]; entry = 0 } in
+  Alcotest.check_raises "depth" (Interp.Stuck "call depth exceeded") (fun () ->
+      ignore (Interp.run p ~mem:(Array.make 1 0)))
+
+let test_interp_ret_none_into_value () =
+  let callee =
+    {
+      Func.name = "noval";
+      entry = 0;
+      nregs = 1;
+      blocks = [| { Func.body = [||]; term = Func.Ret None } |];
+    }
+  in
+  let main =
+    {
+      Func.name = "main";
+      entry = 0;
+      nregs = 1;
+      blocks =
+        [|
+          { Func.body = [||]; term = Func.Call { callee = 1; args = []; ret = Some 0; next = 1 } };
+          { Func.body = [||]; term = Func.Ret (Some 0) };
+        |];
+    }
+  in
+  let p = { Program.name = "noval"; funcs = [| main; callee |]; entry = 0 } in
+  Alcotest.check_raises "valueless ret" (Interp.Stuck "f1 returned no value") (fun () ->
+      ignore (Interp.run p ~mem:(Array.make 1 0)))
+
+(* diamond: 0 -> (1 | 2) -> 3, plus unreachable 4 *)
+let diamond =
+  {
+    Func.name = "diamond";
+    entry = 0;
+    nregs = 2;
+    blocks =
+      [|
+        {
+          Func.body = [| Instr.Li (0, 1) |];
+          term = Func.Branch { cond = 0; site = 42; taken = 1; not_taken = 2 };
+        };
+        { Func.body = [||]; term = Func.Jump 3 };
+        { Func.body = [||]; term = Func.Jump 3 };
+        { Func.body = [||]; term = Func.Ret (Some 0) };
+        { Func.body = [||]; term = Func.Ret None };
+      |];
+  }
+
+let test_cfg_edges_and_preds () =
+  let cfg = Cfg.build diamond in
+  Alcotest.(check (list int)) "succs of 0" [ 1; 2 ] (Cfg.succs cfg 0);
+  Alcotest.(check (list int)) "preds of 3" [ 1; 2 ] (Cfg.preds cfg 3);
+  Alcotest.(check (list int)) "preds of 0" [] (Cfg.preds cfg 0);
+  let sites =
+    Array.to_list (Cfg.edges cfg) |> List.filter_map Cfg.site_of_edge
+  in
+  Alcotest.(check (list int)) "branch edges carry the site" [ 42; 42 ] sites;
+  Alcotest.(check bool) "unreachable" false (Cfg.reachable cfg 4);
+  Alcotest.(check bool) "reachable" true (Cfg.reachable cfg 3)
+
+let test_cfg_rpo_and_dominators () =
+  let cfg = Cfg.build diamond in
+  let rpo = Cfg.rpo cfg in
+  Alcotest.(check int) "rpo covers reachable blocks" 4 (Array.length rpo);
+  Alcotest.(check int) "rpo starts at entry" 0 rpo.(0);
+  Alcotest.(check (option int)) "entry has no idom" None (Cfg.idom cfg 0);
+  Alcotest.(check (option int)) "idom of 1" (Some 0) (Cfg.idom cfg 1);
+  Alcotest.(check (option int)) "join dominated by fork" (Some 0) (Cfg.idom cfg 3);
+  Alcotest.(check bool) "0 dominates 3" true (Cfg.dominates cfg 0 3);
+  Alcotest.(check bool) "1 does not dominate 3" false (Cfg.dominates cfg 1 3);
+  Alcotest.(check bool) "unreachable dominated by nothing" false (Cfg.dominates cfg 0 4)
+
+let test_path_extract () =
+  let cfg = Cfg.build diamond in
+  (* assumed not-taken: the path goes 0 -> 2 -> 3 *)
+  let p = Path.extract cfg ~assume:(fun s -> if s = 42 then Some false else None) in
+  Alcotest.(check bool) "blocks" true (p.Path.blocks = [| 0; 2; 3 |]);
+  Alcotest.(check bool) "complete" true p.Path.complete;
+  Alcotest.(check (list int)) "assumed" [ 42 ] p.Path.assumed_sites;
+  Alcotest.(check (list int)) "no predicted" [] p.Path.predicted_sites;
+  (* unassumed: static prediction follows taken *)
+  let q = Path.extract cfg ~assume:(fun _ -> None) in
+  Alcotest.(check bool) "predicted path" true (q.Path.blocks = [| 0; 1; 3 |]);
+  Alcotest.(check (list int)) "predicted sites" [ 42 ] q.Path.predicted_sites;
+  Alcotest.(check bool) "on path" true (Path.mem q 1);
+  Alcotest.(check bool) "off path" false (Path.mem q 2)
+
+let test_path_stops_on_loop () =
+  let loop =
+    {
+      Func.name = "loop";
+      entry = 0;
+      nregs = 1;
+      blocks =
+        [|
+          { Func.body = [||]; term = Func.Jump 1 };
+          { Func.body = [||]; term = Func.Jump 0 };
+        |];
+    }
+  in
+  let p = Path.extract (Cfg.build loop) ~assume:(fun _ -> None) in
+  Alcotest.(check bool) "one unrolling" true (p.Path.blocks = [| 0; 1 |]);
+  Alcotest.(check bool) "incomplete" false p.Path.complete
+
+let test_synth_program_shape () =
+  let make () =
+    Synth.program ~rng:(Rs_util.Prng.create 7) ~helper_sites:2 ~loop_trips:3 ~first_site:0 ()
+  in
+  let t = make () and t2 = make () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Program.validate t.prog));
+  Alcotest.(check int) "four functions" 4 (Program.n_funcs t.prog);
+  Alcotest.(check (array int)) "input sites" [| 0; 1; 2; 3; 4 |] t.site_ids;
+  Alcotest.(check (array int)) "loop site" [| 5 |] t.loop_sites;
+  Alcotest.(check int) "deterministic" (Program.static_size t.prog)
+    (Program.static_size t2.prog);
+  (* interprets to completion, reporting loop and helper sites *)
+  let r = Synth.run t ~outcomes:[| true; false; true; true; false |] in
+  Alcotest.(check bool) "terminates with a value" true (r.Interp.return_value <> None);
+  let mem = Array.make t.mem_size 0 in
+  Synth.set_inputs t ~mem [| true; false; true; true; false |];
+  let seen = Interp.branch_outcomes t.prog ~mem in
+  let helper_sites = List.filter (fun (s, _) -> s < 5) seen in
+  (* per trip: f1's 2 sites, g's site, f2's 2 sites, g's site again
+     (called from f1, tail-called from f2) *)
+  Alcotest.(check int) "3 trips x 6 site executions" 18 (List.length helper_sites);
+  List.iter
+    (fun (s, taken) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d outcome" s)
+        [| true; false; true; true; false |].(s) taken)
+    helper_sites
+
+let test_synth_program_input_sensitivity () =
+  let t =
+    Synth.program ~rng:(Rs_util.Prng.create 11) ~helper_sites:2 ~loop_trips:2 ~first_site:0 ()
+  in
+  let r1 = Synth.run t ~outcomes:[| true; true; true; true; true |] in
+  let r2 = Synth.run t ~outcomes:[| false; true; true; true; true |] in
+  Alcotest.(check bool) "flipping one site changes the result" true
+    (r1.Interp.return_value <> r2.Interp.return_value)
 
 let suite =
   [
@@ -215,4 +481,15 @@ let suite =
     Alcotest.test_case "synth outcomes respected" `Quick test_synth_outcomes_respected;
     Alcotest.test_case "synth paths differ" `Quick test_synth_paths_differ;
     Alcotest.test_case "figure1 shape" `Quick test_figure1_shape;
+    Alcotest.test_case "program validate" `Quick test_program_validate;
+    Alcotest.test_case "interp calls" `Quick test_interp_calls;
+    Alcotest.test_case "interp call frames isolated" `Quick test_interp_call_frames_isolated;
+    Alcotest.test_case "interp call depth" `Quick test_interp_call_depth;
+    Alcotest.test_case "interp valueless ret" `Quick test_interp_ret_none_into_value;
+    Alcotest.test_case "cfg edges and preds" `Quick test_cfg_edges_and_preds;
+    Alcotest.test_case "cfg rpo and dominators" `Quick test_cfg_rpo_and_dominators;
+    Alcotest.test_case "path extract" `Quick test_path_extract;
+    Alcotest.test_case "path stops on loop" `Quick test_path_stops_on_loop;
+    Alcotest.test_case "synth program shape" `Quick test_synth_program_shape;
+    Alcotest.test_case "synth program input sensitivity" `Quick test_synth_program_input_sensitivity;
   ]

@@ -159,6 +159,30 @@ let test_config_defaults () =
   Alcotest.(check bool) "leading faster than trailing" true
     (c.leading.effective_ipc > c.trailing.effective_ipc)
 
+let test_cold_stub_cost () =
+  Alcotest.(check int) "cold stubs free by default (folded into recovery_penalty)" 0
+    Rs_mssp.Config.default.cold_stub_cost;
+  (* a multi-function region whose distilled versions carry a hot/cold
+     split: pricing the cold-entry stubs must slow recovery down, and
+     only recovery — a version with no cold entries is unaffected *)
+  let r =
+    Rs_ir.Synth.program ~rng:(Rs_util.Prng.create 8) ~helper_sites:2 ~loop_trips:2
+      ~first_site:0 ()
+  in
+  let model = RM.create r in
+  let v = RM.version model (A.branches [ (0, true); (1, true); (4, true) ]) in
+  Alcotest.(check bool) "version carries split stats" true
+    (RM.Version.cold_entries v >= 1 && (RM.Version.stats v).Rs_distill.Distill.inlined_calls >= 1);
+  let run cold_stub_cost =
+    let inst = W.instantiate (short (W.find "mcf")) ~seed:5 in
+    let params = Rs_experiments.Figure7.mssp_params ~monitor:1_000 ~closed:true in
+    M.run inst ~seed:5 ~params ~config:{ Rs_mssp.Config.default with cold_stub_cost }
+  in
+  let free = run 0 and priced = run 50 in
+  Alcotest.(check int) "same squashes either way" free.squashes priced.squashes;
+  Alcotest.(check bool) "pricing the stubs costs recovery cycles" true
+    (priced.mssp_cycles > free.mssp_cycles)
+
 let test_violations_count () =
   let r = region () in
   let model = RM.create r in
@@ -183,5 +207,6 @@ let suite =
     Alcotest.test_case "no speculation, no squash" `Quick test_machine_no_speculation_no_squash;
     Alcotest.test_case "latency tolerance" `Quick test_machine_latency_tolerance;
     Alcotest.test_case "config defaults (Table 5)" `Quick test_config_defaults;
+    Alcotest.test_case "cold stub cost" `Quick test_cold_stub_cost;
     Alcotest.test_case "violation counting" `Quick test_violations_count;
   ]
